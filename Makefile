@@ -1,0 +1,23 @@
+# Convenience targets for the guest-blockchain reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples all
+
+install:
+	pip install -e . && pip install pytest pytest-benchmark hypothesis
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Print every reproduced table/figure to the terminal (~2 min).
+figures:
+	$(PYTHON) -m repro.experiments
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script; done
+
+all: test bench figures

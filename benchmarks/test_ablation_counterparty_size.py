@@ -1,0 +1,54 @@
+"""Ablation — counterparty validator-set size vs light-client update cost.
+
+Fig. 4/5's transaction counts are driven by how many commit signatures a
+counterparty header carries.  This bench sweeps the validator-set size
+and regenerates the chunk plan for each: the 36.5-transaction figure is
+where a Picasso-sized chain (~190 validators) lands on the curve, and a
+small chain would be several times cheaper to follow.
+"""
+
+from conftest import emit
+from repro.crypto.simsig import SimSigScheme
+from repro.crypto.hashing import Hash
+from repro.lightclient.chunked import plan_update_chunks
+from repro.lightclient.tendermint import CometHeader, Commit, LightClientUpdate, ValidatorSet
+from repro.metrics.table import format_table
+
+
+def plan_for(validators: int):
+    scheme = SimSigScheme()
+    keys = [scheme.keypair_from_seed(bytes([12]) + i.to_bytes(4, "big") + bytes(27))
+            for i in range(validators)]
+    valset = ValidatorSet(members=tuple((kp.public_key, 100) for kp in keys))
+    header = CometHeader(
+        chain_id="sweep-1", height=10, time=60.0, app_hash=Hash.of(b"app"),
+        validators_hash=valset.canonical_hash(),
+        next_validators_hash=valset.canonical_hash(),
+    )
+    message = header.sign_bytes()
+    commit = Commit(signatures=tuple((kp.public_key, kp.sign(message)) for kp in keys))
+    return plan_update_chunks(LightClientUpdate(header, commit, valset))
+
+
+def run():
+    return {n: plan_for(n) for n in (10, 50, 100, 190, 300)}
+
+
+def test_ablation_counterparty_size(benchmark):
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["validators", "txs / update", "signatures", "cost (cents)"],
+        [[str(n), str(p.transaction_count), str(p.signature_count),
+          f"{0.1 * (p.transaction_count + p.signature_count):.1f}"]
+         for n, p in sorted(plans.items())],
+        title="Ablation - counterparty size vs LC update cost (Fig. 4/5 driver)",
+    ))
+
+    # Monotone in the set size...
+    sizes = sorted(plans)
+    counts = [plans[n].transaction_count for n in sizes]
+    assert counts == sorted(counts)
+    # ...roughly linear (each validator adds a signature + set bytes)...
+    assert plans[300].transaction_count > 2.5 * plans[100].transaction_count
+    # ...and the Picasso-sized point sits in the paper's 36.5 regime.
+    assert 30 <= plans[190].transaction_count <= 43

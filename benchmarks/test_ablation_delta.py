@@ -1,0 +1,32 @@
+"""Ablation — the Delta parameter (§III-A / §V-C).
+
+Delta forces an empty block whenever the head grows stale, so that
+counterparties can observe guest time for IBC timeouts.  Smaller Delta
+means more empty blocks (more validator signing cost); larger Delta
+means slower timeout detection.  The deployment chose 1 hour.
+"""
+
+from conftest import emit
+from repro.experiments.ablations import delta_sweep
+from repro.metrics.table import format_table
+
+
+def run():
+    return delta_sweep(deltas=(600.0, 1_800.0, 3_600.0), duration=8 * 3600.0)
+
+
+def test_ablation_delta(benchmark):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["Delta (s)", "blocks", "empty", "empty share", "mean interval (s)"],
+        [[f"{p.delta_seconds:.0f}", str(p.blocks), str(p.empty_blocks),
+          f"{p.empty_share:.2f}", f"{p.mean_interval:.0f}"] for p in points],
+        title="Ablation - Delta sweep (fixed traffic)",
+    ))
+
+    by_delta = {p.delta_seconds: p for p in points}
+    # Smaller Delta => more blocks and a larger share of empty ones.
+    assert by_delta[600.0].blocks > by_delta[3_600.0].blocks
+    assert by_delta[600.0].empty_share > by_delta[3_600.0].empty_share
+    # Mean interval grows with Delta but is capped by traffic.
+    assert by_delta[600.0].mean_interval < by_delta[3_600.0].mean_interval

@@ -1,0 +1,33 @@
+"""Ablation — fee strategies under congestion (§VI-B).
+
+The trade-off the paper leaves as future work: the base fee is cheapest
+but slowest under load; priority fees and bundles buy latency at the
+two cost levels Fig. 3 shows.
+"""
+
+from conftest import emit
+from repro.experiments.ablations import fee_strategy_tradeoff
+from repro.metrics.table import format_table
+
+
+def run():
+    return fee_strategy_tradeoff(congestion=0.7, samples=120)
+
+
+def test_ablation_fees(benchmark):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["strategy", "p50 latency (s)", "p90-ish max (s)", "mean cost (USD)"],
+        [[p.name, f"{p.latency.median:.2f}", f"{p.latency.maximum:.2f}",
+          f"{p.mean_cost_usd:.3f}"] for p in points],
+        title="Ablation - fee strategy trade-off at congestion 0.7",
+    ))
+
+    by_name = {p.name: p for p in points}
+    # Latency ordering: paying beats not paying.
+    assert by_name["priority"].latency.median < by_name["base"].latency.median
+    assert by_name["bundle"].latency.median < by_name["base"].latency.median
+    # Cost ordering: base << priority < bundle (the Fig. 3 clusters).
+    assert by_name["base"].mean_cost_usd < 0.01
+    assert 1.0 < by_name["priority"].mean_cost_usd < 2.0
+    assert 2.5 < by_name["bundle"].mean_cost_usd < 3.5

@@ -1,0 +1,37 @@
+"""Ablation — quorum stake fraction vs finalisation latency (§III-B).
+
+The contract finalises a block once signatures cover the quorum stake.
+Demanding more stake is safer but slower: with realistic validator
+uptime, high quorums increasingly wait for the periodic catch-up sweep.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+from repro.experiments.ablations import quorum_sweep
+from repro.metrics.table import format_table
+
+
+def run():
+    return quorum_sweep(
+        fractions=(Fraction(1, 2), Fraction(2, 3), Fraction(9, 10)),
+        duration=3 * 3600.0,
+    )
+
+
+def test_ablation_quorum(benchmark):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["quorum", "p50 finalisation (s)", "max (s)", "stalled"],
+        [[str(p.quorum_fraction), f"{p.finalisation_latency.median:.1f}",
+          f"{p.finalisation_latency.maximum:.1f}", str(p.stalled_blocks)]
+         for p in points],
+        title="Ablation - quorum stake fraction",
+    ))
+
+    by_fraction = {p.quorum_fraction: p for p in points}
+    # More required stake never finalises faster.
+    assert (by_fraction[Fraction(1, 2)].finalisation_latency.median
+            <= by_fraction[Fraction(9, 10)].finalisation_latency.median + 0.5)
+    # The paper's 2/3 keeps median finalisation in single-digit seconds.
+    assert by_fraction[Fraction(2, 3)].finalisation_latency.median < 15.0

@@ -1,0 +1,29 @@
+"""Ablation — sealable vs plain trie under a packet stream (§III-A).
+
+The design claim: with sealing, live storage depends only on the number
+of in-flight packets; without it, storage grows linearly with every
+packet ever processed.
+"""
+
+from conftest import emit
+from repro.experiments.report import render_storage
+from repro.experiments.storage import measure_capacity, sealing_ablation
+
+
+def run():
+    return sealing_ablation(packets=5_000, live_window=64)
+
+
+def test_ablation_sealing(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(render_storage(measure_capacity(sample=5_000), results))
+
+    trajectory = results.sealed_bytes_trajectory
+    plain = results.plain_bytes_trajectory
+    # The sealable trie flat-lines once the window fills...
+    steady = trajectory[len(trajectory) // 2:]
+    assert max(steady) < 2 * min(steady)
+    # ...the plain trie keeps growing linearly...
+    assert plain[-1] > 3 * plain[len(plain) // 4]
+    # ...and the final gap is at least an order of magnitude.
+    assert results.growth_ratio > 10

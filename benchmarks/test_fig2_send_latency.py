@@ -1,0 +1,23 @@
+"""Fig. 2 — delay between SendPacket and the FinalisedBlock event.
+
+Paper: all but three transfers completed within 21 seconds; the
+stragglers were caused by validator signing delays (§V-A).
+"""
+
+from conftest import emit
+from repro.experiments.report import render_fig2
+from repro.metrics.stats import fraction_below
+
+
+def test_fig2_send_latency(evaluation, benchmark):
+    latencies = benchmark(evaluation.send_latencies)
+    emit(render_fig2(evaluation))
+
+    assert len(latencies) > 50, "need a meaningful sample"
+    # Shape: the bulk completes within 21 s...
+    assert fraction_below(latencies, 21.0) > 0.90
+    # ...with a small number of much slower stragglers (the §V-C outage).
+    stragglers = [value for value in latencies if value >= 21.0]
+    assert stragglers, "the outage should produce at least one straggler"
+    assert len(stragglers) < 0.1 * len(latencies)
+    assert max(stragglers) > 120.0

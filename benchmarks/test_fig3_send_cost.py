@@ -1,0 +1,31 @@
+"""Fig. 3 — cost of sending a packet: two fee-policy clusters.
+
+Paper: 1.40 USD with priority fees (17 % of sends) and about 3.02 USD
+with block bundles (the rest) (§V-A).
+"""
+
+import statistics
+
+import pytest
+
+from conftest import emit
+from repro.experiments.report import render_fig3
+
+
+def test_fig3_send_cost(evaluation, benchmark):
+    costs = benchmark(evaluation.send_costs_usd)
+    emit(render_fig3(evaluation))
+
+    priority = [r.cost_usd for r in evaluation.sends
+                if r.strategy == "priority" and r.cost_usd is not None]
+    bundle = [r.cost_usd for r in evaluation.sends
+              if r.strategy == "bundle" and r.cost_usd is not None]
+    assert priority and bundle
+    # Two tight clusters at the published levels.
+    assert statistics.mean(priority) == pytest.approx(1.40, abs=0.05)
+    assert statistics.mean(bundle) == pytest.approx(3.02, abs=0.05)
+    # The bundle path costs roughly 2x the priority path.
+    assert 1.8 < statistics.mean(bundle) / statistics.mean(priority) < 2.6
+    # Policy mix near the published 17 % / 83 %.
+    share = len(priority) / (len(priority) + len(bundle))
+    assert 0.08 < share < 0.30

@@ -1,0 +1,35 @@
+"""§VI-D — the guest light client as a cheap proxy, quantified.
+
+The paper's closing observation: chains whose light clients are
+expensive to follow could let counterparties follow the *guest* instead.
+This bench measures signatures verified, bytes shipped and time spent
+per verified header for the guest light client (24 validators, one
+fingerprint each) versus a Picasso-sized Tendermint client (~190 commit
+signatures plus validator-set handling).
+"""
+
+from conftest import emit
+from repro.experiments.lightclient_cost import light_client_cost_comparison
+from repro.metrics.table import format_table
+
+
+def run():
+    return light_client_cost_comparison(headers=30)
+
+
+def test_lightclient_cost(benchmark):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["client", "validators", "sigs/header", "bytes/header", "ms/header"],
+        [[p.name, str(p.validators), str(p.signatures_verified),
+          str(p.update_bytes), f"{p.seconds_per_header * 1000:.2f}"]
+         for p in points],
+        title="SVI-D - cost of following each chain design",
+    ))
+
+    guest = next(p for p in points if p.name == "guest")
+    tendermint = next(p for p in points if p.name == "tendermint")
+    # The guest needs several times fewer signature verifications...
+    assert guest.signatures_verified * 4 < tendermint.signatures_verified
+    # ...and proportionally less wire data per header.
+    assert guest.update_bytes * 3 < tendermint.update_bytes

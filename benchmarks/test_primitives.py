@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the primitives the Guest Contract leans on.
+
+Not a paper figure — these quantify the substrate: sealable-trie
+operations, proof generation/verification and the signature schemes, so
+performance regressions in the core structures are visible.
+"""
+
+import hashlib
+
+from repro.crypto.ed25519 import Ed25519Scheme
+from repro.crypto.simsig import SimSigScheme
+from repro.trie.trie import SealableTrie
+from repro.trie.proof import verify_membership
+
+
+def _filled_trie(count=2_000):
+    trie = SealableTrie()
+    for index in range(count):
+        key = hashlib.sha256(index.to_bytes(8, "big")).digest()
+        trie.set(key, key)
+    return trie
+
+
+def test_trie_insert(benchmark):
+    trie = _filled_trie()
+    counter = iter(range(10_000_000, 20_000_000))
+
+    def insert():
+        index = next(counter)
+        key = hashlib.sha256(index.to_bytes(8, "big")).digest()
+        trie.set(key, key)
+
+    benchmark(insert)
+
+
+def test_trie_prove_and_verify(benchmark):
+    trie = _filled_trie()
+    key = hashlib.sha256((7).to_bytes(8, "big")).digest()
+    root = trie.root_hash
+
+    def prove_verify():
+        proof = trie.prove(key)
+        assert verify_membership(root, proof)
+
+    benchmark(prove_verify)
+
+
+def test_trie_seal(benchmark):
+    prefix = hashlib.sha256(b"seal-bench").digest()[:24]
+    trie = SealableTrie()
+    total = 200_000
+    for seq in range(total):
+        trie.set(prefix + seq.to_bytes(8, "big"), b"v")
+    counter = iter(range(total - 2))
+
+    def seal():
+        trie.seal(prefix + next(counter).to_bytes(8, "big"))
+
+    benchmark(seal)
+
+
+def test_simsig_verify(benchmark):
+    scheme = SimSigScheme()
+    keypair = scheme.keypair_from_seed(bytes(range(32)))
+    signature = keypair.sign(b"message")
+    benchmark(lambda: scheme.verify(keypair.public_key, b"message", signature))
+
+
+def test_ed25519_verify(benchmark):
+    scheme = Ed25519Scheme()
+    keypair = scheme.keypair_from_seed(bytes(range(32)))
+    signature = keypair.sign(b"message")
+    benchmark(lambda: scheme.verify(keypair.public_key, b"message", signature))

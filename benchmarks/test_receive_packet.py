@@ -1,0 +1,28 @@
+"""§V-A/B — ReceivePacket: 4-5 transactions, one host block, 0.4-0.5 c.
+
+Paper: packet deliveries took 4-5 Solana transactions depending on
+packet size, always landing together in a single block; the relayer paid
+0.4 cents in 98.2 % of the cases and 0.5 cents in the rest.
+"""
+
+from conftest import emit
+from repro.experiments.report import render_receive_packet
+from repro.units import lamports_to_cents
+
+
+def extract(evaluation):
+    return [(d.transaction_count, lamports_to_cents(d.total_fee), d.slot)
+            for d in evaluation.deliveries if d.success]
+
+
+def test_receive_packet(evaluation, benchmark):
+    deliveries = benchmark(extract, evaluation)
+    emit(render_receive_packet(evaluation))
+
+    assert len(deliveries) > 30
+    for tx_count, cost_cents, _ in deliveries:
+        assert 3 <= tx_count <= 6           # paper: 4-5
+        assert 0.25 <= cost_cents <= 0.65   # paper: 0.4-0.5 c
+    # Cost equals one base fee per transaction (no priority, no tip).
+    for tx_count, cost_cents, _ in deliveries:
+        assert abs(cost_cents - 0.1 * tx_count) < 0.001

@@ -1,0 +1,22 @@
+"""§V-D — storage costs: the 10 MiB account, its deposit, its capacity.
+
+Paper: the 10 MiB account (Solana's maximum) required a 14.6 k USD
+rent-exemption deposit (recoverable), and suffices for over 72 thousand
+key-value pairs thanks to the sealable trie.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.report import render_storage
+from repro.experiments.storage import measure_capacity, sealing_ablation
+
+
+def test_storage_costs(benchmark):
+    capacity = benchmark.pedantic(measure_capacity, rounds=1, iterations=1)
+    ablation = sealing_ablation(packets=2_000, live_window=64)
+    emit(render_storage(capacity, ablation))
+
+    assert capacity.deposit_usd == pytest.approx(14_600, rel=0.01)
+    assert capacity.pairs_in_account > 72_000
+    assert capacity.bytes_per_pair < 150

@@ -1,0 +1,42 @@
+"""Table I — per-validator signing statistics.
+
+Paper: 17 active validators with heterogeneous signature counts and
+fixed fees, 7 silent validators, a huge maximum latency for validator #1
+(its operator-error outage), and essentially no correlation between what
+validators paid and how fast they signed (coefficient 0.007, §V-C).
+"""
+
+from conftest import emit
+from repro.experiments.report import render_table1
+
+
+def extract(evaluation):
+    return [(row.index, row.signatures, row.cost_cents) for row in evaluation.validator_rows]
+
+
+def test_table1_validator_stats(evaluation, benchmark):
+    rows = benchmark(extract, evaluation)
+    emit(render_table1(evaluation))
+
+    active = [row for row in evaluation.validator_rows if row.signatures > 0]
+    assert len(active) >= 12
+    assert evaluation.silent_validators == 7
+
+    # Signature counts are heterogeneous, #1 highest (it ran all month).
+    counts = {row.index: row.signatures for row in active}
+    assert counts[1] == max(counts.values())
+    assert max(counts.values()) > 3 * min(counts.values())
+
+    # Fees replay the published per-validator costs exactly.
+    published = {1: 1.00, 2: 1.40, 3: 0.25, 16: 0.20, 17: 0.20}
+    for index, cents in published.items():
+        row = next((r for r in active if r.index == index), None)
+        if row is not None:
+            assert abs(row.cost_cents - cents) < 0.02
+
+    # Validator #1's outage shows as an extreme maximum latency.
+    row1 = next(r for r in evaluation.validator_rows if r.index == 1)
+    assert row1.latency is not None and row1.latency.maximum > 100 * row1.latency.median
+
+    # Paying more does not buy meaningfully faster signing.
+    assert abs(evaluation.cost_latency_correlation) < 0.5

@@ -1,0 +1,122 @@
+"""Validator economics: staking, epochs, signing costs, exit and the
+"last validator" problem.
+
+Walks the §III-B / §VI-A lifecycle:
+
+1. a newcomer bonds stake through a STAKE transaction and is selected at
+   the next epoch rotation;
+2. validators sign blocks, each paying its fee policy's cost per Sign
+   transaction (the Table I cost column);
+3. a validator requests exit: its stake stays locked for the unbonding
+   period (§IV: one week on mainnet) and an early withdrawal fails;
+4. the §VI-A discussion made concrete: the last validators cannot leave
+   without halting the chain — their stake would be frozen forever.
+
+Run:  python examples/validator_economics.py
+"""
+
+from repro import Deployment, DeploymentConfig
+from repro.guest.config import GuestConfig
+from repro.units import lamports_to_cents, lamports_to_usd, sol_to_lamports
+from repro.validators.profiles import simple_profiles
+
+
+def main() -> None:
+    deployment = Deployment(DeploymentConfig(
+        seed=13,
+        guest=GuestConfig(
+            delta_seconds=60.0,
+            min_stake_lamports=sol_to_lamports(1.0),
+            epoch_length_host_blocks=750,     # ~5 min epochs for the demo
+            unbonding_seconds=600.0,          # scaled-down hold period
+        ),
+        profiles=simple_profiles(4),
+    ))
+    contract = deployment.contract
+    deployment.run_for(120.0)
+
+    print(f"Epoch {contract.current_epoch.epoch_id}: "
+          f"{len(contract.current_epoch)} validators, "
+          f"quorum {contract.current_epoch.quorum_stake / contract.current_epoch.total_stake:.0%} of stake")
+
+    # --- a newcomer joins -----------------------------------------------------
+    newcomer = deployment.scheme.keypair_from_seed(bytes([99]) * 32)
+    stake = sol_to_lamports(150.0)
+    print(f"\nNewcomer bonds {lamports_to_usd(stake):,.0f} USD of stake...")
+    deployment.user_api.stake(newcomer.public_key, stake)
+    deployment.run_for(400.0)  # cross an epoch boundary
+
+    epoch = contract.current_epoch
+    member = "IS" if epoch.is_validator(newcomer.public_key) else "is NOT"
+    print(f"  epoch {epoch.epoch_id}: the newcomer {member} in the validator set "
+          f"({len(epoch)} members)")
+
+    # --- signing costs and rewards ----------------------------------------------
+    print("\nDriving some packet traffic so fees accrue...")
+    guest_channel, _ = deployment.establish_link()
+    deployment.contract.bank.mint("alice", "GUEST", 10 ** 9)
+    for _ in range(4):
+        payload = deployment.contract.transfer.make_payload(
+            guest_channel, "GUEST", 5, "alice", "bob",
+        )
+        deployment.user_api.send_packet("transfer", str(guest_channel), payload)
+        deployment.run_for(40.0)
+
+    print("\nSigning economics (§V-C's incentives, implemented):")
+    for node in deployment.validators:
+        records = node.successful_records()
+        if not records:
+            continue
+        total = sum(r.fee_paid for r in records)
+        per_sig = total / len(records)
+        rewards = deployment.contract.reward_balances.get(node.keypair.public_key, 0)
+        print(f"  validator #{node.profile.index}: {len(records)} signatures, "
+              f"{lamports_to_cents(round(per_sig)):.2f} cents each "
+              f"({lamports_to_usd(total):.4f} USD fees paid, "
+              f"{lamports_to_usd(rewards):.4f} USD rewards accrued)")
+
+    earner = max(deployment.validators,
+                 key=lambda n: deployment.contract.reward_balances.get(
+                     n.keypair.public_key, 0))
+    if deployment.contract.reward_balances.get(earner.keypair.public_key, 0) > 0:
+        print(f"\n  validator #{earner.profile.index} claims its rewards...")
+        results = []
+        earner.api.claim_rewards(earner.keypair, on_result=results.append)
+        deployment.run_for(30.0)
+        print(f"  claim {'succeeded' if results[-1].success else 'failed'}")
+
+    # --- exit and the unbonding hold -------------------------------------------
+    print("\nThe newcomer requests exit (full unbond)...")
+    deployment.user_api.unstake(newcomer.public_key, stake)
+    deployment.run_for(30.0)
+
+    results = []
+    deployment.user_api.withdraw_stake(newcomer.public_key,
+                                       on_result=results.append)
+    deployment.run_for(30.0)
+    print(f"  immediate withdrawal: "
+          f"{'succeeded' if results[-1].success else 'REFUSED (' + results[-1].error + ')'}")
+
+    deployment.run_for(600.0)  # wait out the hold
+    results.clear()
+    deployment.user_api.withdraw_stake(newcomer.public_key,
+                                       on_result=results.append)
+    deployment.run_for(30.0)
+    print(f"  after the unbonding period: "
+          f"{'stake recovered' if results[-1].success else results[-1].error}")
+
+    # --- the §VI-A thought experiment -------------------------------------------
+    print("\nThe last-validator problem (§VI-A):")
+    epoch = contract.current_epoch
+    total = epoch.total_stake
+    print(f"  current epoch stake: {lamports_to_usd(total):,.0f} USD across "
+          f"{len(epoch)} validators")
+    print("  if all but one validator unbonded, the remaining one could never")
+    print("  withdraw: with no quorum the chain stops, and stake withdrawal")
+    print("  itself needs a live chain. The paper suggests a self-destruct")
+    print("  clause releasing assets after prolonged inactivity.")
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

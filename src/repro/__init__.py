@@ -1,0 +1,48 @@
+"""Guest blockchain: IBC interoperability for IBC-incompatible chains.
+
+A complete reproduction of "Be My Guest: Welcoming Interoperability into
+IBC-Incompatible Blockchains" (DSN 2025): the sealable Merkle trie, the
+Guest Contract (Alg. 1), validators/relayers/fishermen (Alg. 2), a full
+IBC stack with ICS-20 token transfer, both light clients, and simulated
+host (Solana-like) and counterparty (Tendermint-like) chains on a
+deterministic discrete-event kernel.
+
+Quick start::
+
+    from repro import Deployment, DeploymentConfig
+
+    deployment = Deployment(DeploymentConfig(seed=1))
+    guest_chan, cp_chan = deployment.establish_link()
+    # ... send ICS-20 transfers in either direction; see examples/.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.deployment import Deployment, DeploymentConfig, build
+from repro.guest import GuestApi, GuestConfig, GuestContract
+from repro.host import HostChain, HostConfig
+from repro.counterparty import CounterpartyChain, CounterpartyConfig
+from repro.relayer import Cranker, Relayer, RelayerConfig
+from repro.sim import Simulation
+from repro.trie import SealableTrie
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CounterpartyChain",
+    "CounterpartyConfig",
+    "Cranker",
+    "Deployment",
+    "DeploymentConfig",
+    "GuestApi",
+    "GuestConfig",
+    "GuestContract",
+    "HostChain",
+    "HostConfig",
+    "Relayer",
+    "RelayerConfig",
+    "SealableTrie",
+    "Simulation",
+    "build",
+]

@@ -1,0 +1,12 @@
+"""The counterparty blockchain: a Tendermint-like chain with native IBC.
+
+Stands in for Picasso, the Cosmos-SDK chain the deployment connected to
+(§IV).  Only the properties the guest's measurements depend on are
+modelled: ~6-second block cadence, a large validator set whose commit
+signatures dominate the chunked light-client updates (Fig. 4/5), mild
+validator-set churn, and a native IBC host with a provable store.
+"""
+
+from repro.counterparty.chain import CounterpartyChain, CounterpartyConfig
+
+__all__ = ["CounterpartyChain", "CounterpartyConfig"]

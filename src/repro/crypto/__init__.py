@@ -1,0 +1,33 @@
+"""Cryptographic primitives: hashing, Ed25519, and a fast simulation scheme.
+
+Two interchangeable signature schemes are provided behind one interface
+(:class:`~repro.crypto.keys.Keypair` / :class:`~repro.crypto.keys.PublicKey`):
+
+* :mod:`repro.crypto.ed25519` — a correct, pure-Python RFC 8032 Ed25519
+  implementation.  Used in tests to validate the protocol against a real
+  scheme; too slow for month-long simulated deployments.
+* :mod:`repro.crypto.simsig` — a deterministic HMAC-style scheme whose
+  security rests on a process-local registry.  It preserves the *interface
+  and failure modes* of a real scheme (wrong key, wrong message and
+  corrupted signatures all fail verification) at a tiny fraction of the
+  cost, which is what the large simulations need.
+
+The substitution is documented in DESIGN.md §2.
+"""
+
+from repro.crypto.hashing import Hash, hash_bytes, hash_concat
+from repro.crypto.keys import Keypair, PublicKey, Signature, SignatureScheme
+from repro.crypto.simsig import SimSigScheme
+from repro.crypto.ed25519 import Ed25519Scheme
+
+__all__ = [
+    "Hash",
+    "hash_bytes",
+    "hash_concat",
+    "Keypair",
+    "PublicKey",
+    "Signature",
+    "SignatureScheme",
+    "SimSigScheme",
+    "Ed25519Scheme",
+]

@@ -1,0 +1,166 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+A from-scratch implementation of the signature scheme the paper's Solana
+deployment uses on-chain.  It is correct but slow (each operation is a
+scalar multiplication over bigints), so the large simulated deployments
+default to :class:`~repro.crypto.simsig.SimSigScheme` instead; this module
+exists to validate the protocol logic against a real scheme and is
+exercised directly by the test suite.
+
+The implementation follows the RFC 8032 reference flow: SHA-512 key
+expansion and nonce derivation, extended-coordinate point arithmetic on
+edwards25519, and the cofactorless verification equation
+``[S]B = R + [k]A``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.keys import Keypair, PublicKey, Signature, SignatureScheme
+from repro.errors import InvalidKeyError
+
+# Curve constants for edwards25519.
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+
+# Base point.
+_BY = (4 * pow(5, _P - 2, _P)) % _P
+_BX = 15112221349535400772501151409588531511454012693041857206046113283949847762202
+
+# Points are (X, Y, Z, T) in extended homogeneous coordinates.
+_IDENTITY = (0, 1, 1, 0)
+_BASE = (_BX, _BY, 1, (_BX * _BY) % _P)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _point_add(p: tuple[int, int, int, int], q: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = ((y1 - x1) * (y2 - x2)) % _P
+    b = ((y1 + x1) * (y2 + x2)) % _P
+    c = (2 * t1 * t2 * _D) % _P
+    d = (2 * z1 * z2) % _P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return ((e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P)
+
+
+def _point_mul(s: int, p: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+    q = _IDENTITY
+    while s > 0:
+        if s & 1:
+            q = _point_add(q, p)
+        p = _point_add(p, p)
+        s >>= 1
+    return q
+
+
+def _point_equal(p: tuple[int, int, int, int], q: tuple[int, int, int, int]) -> bool:
+    # x1/z1 == x2/z2 and y1/z1 == y2/z2, cross-multiplied.
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    if (x1 * z2 - x2 * z1) % _P != 0:
+        return False
+    return (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _recover_x(y: int, sign: int) -> int | None:
+    if y >= _P:
+        return None
+    x2 = (y * y - 1) * pow(_D * y * y + 1, _P - 2, _P)
+    if x2 == 0:
+        if sign:
+            return None
+        return 0
+    # Square root of x2 modulo p = 5 (mod 8).
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = (x * pow(2, (_P - 1) // 4, _P)) % _P
+    if (x * x - x2) % _P != 0:
+        return None
+    if (x & 1) != sign:
+        x = _P - x
+    return x
+
+
+def _point_compress(p: tuple[int, int, int, int]) -> bytes:
+    x, y, z, _ = p
+    zinv = pow(z, _P - 2, _P)
+    x, y = (x * zinv) % _P, (y * zinv) % _P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes) -> tuple[int, int, int, int] | None:
+    if len(data) != 32:
+        return None
+    y = int.from_bytes(data, "little")
+    sign = y >> 255
+    y &= (1 << 255) - 1
+    x = _recover_x(y, sign)
+    if x is None:
+        return None
+    return (x, y, 1, (x * y) % _P)
+
+
+def _secret_expand(seed: bytes) -> tuple[int, bytes]:
+    if len(seed) != 32:
+        raise InvalidKeyError("Ed25519 seed must be exactly 32 bytes")
+    h = _sha512(seed)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def seed_to_public_key(seed: bytes) -> bytes:
+    """Derive the 32-byte compressed public key from a 32-byte seed."""
+    a, _ = _secret_expand(seed)
+    return _point_compress(_point_mul(a, _BASE))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """Produce the 64-byte RFC 8032 signature of ``message``."""
+    a, prefix = _secret_expand(seed)
+    public = _point_compress(_point_mul(a, _BASE))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    big_r = _point_compress(_point_mul(r, _BASE))
+    k = int.from_bytes(_sha512(big_r + public + message), "little") % _L
+    s = (r + k * a) % _L
+    return big_r + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a 64-byte signature against a 32-byte compressed public key."""
+    if len(public) != 32 or len(signature) != 64:
+        return False
+    point_a = _point_decompress(public)
+    if point_a is None:
+        return False
+    point_r = _point_decompress(signature[:32])
+    if point_r is None:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32] + public + message), "little") % _L
+    return _point_equal(_point_mul(s, _BASE), _point_add(point_r, _point_mul(k, point_a)))
+
+
+class Ed25519Scheme(SignatureScheme):
+    """The real scheme, packaged behind the shared interface."""
+
+    name = "ed25519"
+
+    def keypair_from_seed(self, seed: bytes) -> Keypair:
+        public = seed_to_public_key(seed)
+        return Keypair(public_key=PublicKey(public), secret=seed, scheme=self)
+
+    def sign(self, secret: bytes, message: bytes) -> Signature:
+        return Signature(sign(secret, message))
+
+    def verify(self, public_key: PublicKey, message: bytes, signature: Signature) -> bool:
+        return verify(bytes(public_key), message, bytes(signature))

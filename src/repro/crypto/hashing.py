@@ -1,0 +1,92 @@
+"""Hashing primitives used across the trie, blocks and IBC commitments.
+
+Everything hashes with SHA-256 (the guest blockchain in the paper likewise
+standardises on a single hash).  :class:`Hash` wraps the 32-byte digest in
+an immutable value type so call sites cannot confuse digests with raw byte
+strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+DIGEST_SIZE = 32
+
+
+@dataclass(frozen=True, slots=True)
+class Hash:
+    """An immutable 32-byte SHA-256 digest."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes) or len(self.value) != DIGEST_SIZE:
+            raise ValueError(
+                f"Hash requires exactly {DIGEST_SIZE} bytes, "
+                f"got {len(self.value) if isinstance(self.value, bytes) else type(self.value)}"
+            )
+
+    @classmethod
+    def of(cls, data: bytes) -> "Hash":
+        """Hash ``data`` and wrap the digest."""
+        return cls(hashlib.sha256(data).digest())
+
+    @classmethod
+    def zero(cls) -> "Hash":
+        """The all-zeros digest, used as the empty-trie commitment."""
+        return cls(bytes(DIGEST_SIZE))
+
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def short(self) -> str:
+        """First 8 hex characters — for logs and reprs."""
+        return self.value[:4].hex()
+
+    def __bytes__(self) -> bytes:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Hash({self.short()}…)"
+
+
+def hash_bytes(data: bytes) -> Hash:
+    """SHA-256 of ``data``."""
+    return Hash.of(data)
+
+
+def hash_concat(*parts: bytes | Hash) -> Hash:
+    """SHA-256 over the concatenation of ``parts``.
+
+    Each part is length-prefixed (4-byte big-endian) so that distinct
+    splits of the same bytes cannot collide — e.g. ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` hash differently.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        raw = bytes(part)
+        hasher.update(len(raw).to_bytes(4, "big"))
+        hasher.update(raw)
+    return Hash(hasher.digest())
+
+
+def merkle_root(leaves: Iterable[bytes | Hash]) -> Hash:
+    """Binary Merkle root over ``leaves`` (duplicating the last odd node).
+
+    Used for the packet list committed into guest block headers; the main
+    provable state uses the sealable trie instead.
+    """
+    level = [bytes(leaf) for leaf in leaves]
+    if not level:
+        return Hash.zero()
+    level = [hashlib.sha256(b"\x00" + leaf).digest() for leaf in level]
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            hashlib.sha256(b"\x01" + level[i] + level[i + 1]).digest()
+            for i in range(0, len(level), 2)
+        ]
+    return Hash(level[0])

@@ -1,0 +1,59 @@
+"""Fast deterministic signature scheme for large simulations.
+
+The month-long simulated deployments verify hundreds of thousands of
+signatures; pure-Python Ed25519 would dominate the runtime.  ``SimSig``
+replaces the curve arithmetic with keyed hashing:
+
+* the public key is ``SHA-256("simsig-pub" || seed)``;
+* a signature is ``SHA-256("simsig" || seed || message)`` twice-expanded
+  to 64 bytes;
+* the scheme instance keeps a private ``pubkey -> seed`` registry so
+  *verification* can recompute the expected signature.
+
+This is obviously not secure against an adversary who can read process
+memory — but no simulation component is given the registry, so within the
+simulation the scheme has exactly the failure modes of a real one: a
+signature only verifies under the public key whose seed produced it, for
+the exact message signed.  DESIGN.md §2 records this substitution;
+the test suite runs the protocol under real Ed25519 as well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.keys import Keypair, PublicKey, Signature, SignatureScheme
+from repro.errors import InvalidKeyError
+
+_PUB_DOMAIN = b"simsig-pub"
+_SIG_DOMAIN = b"simsig-sig"
+
+
+class SimSigScheme(SignatureScheme):
+    """Hash-based stand-in for Ed25519 (simulation only)."""
+
+    name = "simsig"
+
+    def __init__(self) -> None:
+        self._seeds: dict[bytes, bytes] = {}
+
+    def keypair_from_seed(self, seed: bytes) -> Keypair:
+        if len(seed) != 32:
+            raise InvalidKeyError("SimSig seed must be exactly 32 bytes")
+        public = hashlib.sha256(_PUB_DOMAIN + seed).digest()
+        self._seeds[public] = seed
+        return Keypair(public_key=PublicKey(public), secret=seed, scheme=self)
+
+    def _expected_signature(self, seed: bytes, message: bytes) -> bytes:
+        first = hashlib.sha256(_SIG_DOMAIN + seed + message).digest()
+        second = hashlib.sha256(first).digest()
+        return first + second
+
+    def sign(self, secret: bytes, message: bytes) -> Signature:
+        return Signature(self._expected_signature(secret, message))
+
+    def verify(self, public_key: PublicKey, message: bytes, signature: Signature) -> bool:
+        seed = self._seeds.get(bytes(public_key))
+        if seed is None:
+            return False
+        return bytes(signature) == self._expected_signature(seed, message)

@@ -1,0 +1,199 @@
+"""Deployment builder: the whole system wired on one event loop.
+
+``Deployment.build`` assembles what the paper deployed (§IV): the host
+chain, the Guest Contract with its 10 MiB state account, the validator
+set (genesis validators bonded, late joiners staking mid-run), the
+counterparty chain, the cranker, the relayer and — optionally — a
+fisherman with a gossip layer.  ``establish_link`` then runs the real
+ICS-03/ICS-04 handshakes through the relayer, after which both
+directions of ICS-20 transfer work end to end.
+
+Tests, examples and every experiment build on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.counterparty.chain import CounterpartyChain, CounterpartyConfig
+from repro.crypto.keys import Keypair, SignatureScheme
+from repro.crypto.simsig import SimSigScheme
+from repro.errors import SimulationError
+from repro.fisherman.fisherman import Fisherman
+from repro.guest.api import GuestApi
+from repro.guest.config import GuestConfig
+from repro.guest.contract import GuestContract
+from repro.host.accounts import Address
+from repro.host.chain import HostChain, HostConfig
+from repro.ibc.identifiers import ChannelId, ClientId, PortId
+from repro.lightclient.guest_client import GuestLightClient
+from repro.relayer.cranker import Cranker
+from repro.relayer.relayer import Relayer, RelayerConfig
+from repro.sim.gossip import GossipNetwork
+from repro.sim.kernel import Simulation
+from repro.units import sol_to_lamports
+from repro.validators.node import ValidatorNode
+from repro.validators.profiles import ValidatorProfile, simple_profiles
+
+
+@dataclass
+class DeploymentConfig:
+    """Everything one simulated deployment needs."""
+
+    seed: int = 7
+    #: Simulated run length; validator join windows scale to it.
+    run_duration: float = 3600.0
+    guest: GuestConfig = field(default_factory=GuestConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    counterparty: CounterpartyConfig = field(default_factory=CounterpartyConfig)
+    relayer: RelayerConfig = field(default_factory=RelayerConfig)
+    profiles: Optional[list[ValidatorProfile]] = None
+    cranker_poll_seconds: float = 2.0
+    with_fisherman: bool = False
+    #: Signature-scheme factory.  Defaults to the fast simulation scheme;
+    #: pass repro.crypto.ed25519.Ed25519Scheme for real curve arithmetic
+    #: (DESIGN.md SS2 documents the substitution).
+    scheme_factory: type = SimSigScheme
+
+
+class Deployment:
+    """A fully wired guest-blockchain deployment."""
+
+    def __init__(self, config: DeploymentConfig) -> None:
+        self.config = config
+        self.sim = Simulation(seed=config.seed)
+        self.scheme: SignatureScheme = config.scheme_factory()
+        self.host = HostChain(self.sim, self.scheme, config.host)
+        self.counterparty = CounterpartyChain(self.sim, self.scheme, config.counterparty)
+
+        self.contract = GuestContract(config.guest, config.counterparty.chain_id)
+        self.host.deploy(self.contract)
+
+        # The deployer funds and allocates the guest's 10 MiB state
+        # account (§V-D's 14.6 k USD deposit).
+        self.deployer = Address.derive("deployer")
+        self.host.airdrop(self.deployer, sol_to_lamports(10_000.0))
+        self.host.accounts.allocate(
+            self.deployer, self.contract.state_account,
+            config.guest.state_account_bytes, self.contract.program_id,
+        )
+
+        # Validators: genesis joiners are bonded before the first block;
+        # later joiners submit STAKE transactions mid-run.
+        profiles = config.profiles if config.profiles is not None else simple_profiles(4)
+        self.validators: list[ValidatorNode] = []
+        genesis_bonded = 0
+        for profile in profiles:
+            payer = Address.derive(f"validator-payer-{profile.index}")
+            self.host.airdrop(payer, sol_to_lamports(100.0))
+            keypair = self.scheme.keypair_from_seed(
+                bytes([1]) + profile.index.to_bytes(4, "big") + bytes(27)
+            )
+            api = GuestApi(self.host, self.contract, payer)
+            node = ValidatorNode(
+                sim=self.sim, chain=self.host, contract=self.contract,
+                api=api, keypair=keypair, profile=profile,
+                run_duration=config.run_duration,
+            )
+            self.validators.append(node)
+            if profile.join_fraction == 0.0:
+                self.contract.staking.bond(keypair.public_key, profile.stake)
+                genesis_bonded += profile.stake
+            else:
+                def stake_later(api=api, keypair=keypair, profile=profile):
+                    api.stake(keypair.public_key, profile.stake)
+                self.sim.schedule(node.join_time, stake_later)
+                self.host.airdrop(payer, profile.stake)
+        # Genesis bonds never passed through STAKE transactions, so fund
+        # the treasury directly to keep withdrawals solvent.
+        self.host.airdrop(self.contract.treasury, genesis_bonded)
+
+        self.contract.initialize(ctx_slot=0, ctx_time=0.0)
+
+        # Light client of the guest, hosted on the counterparty.
+        assert self.contract.current_epoch is not None
+        self.guest_client = GuestLightClient(self.scheme, self.contract.current_epoch)
+        self.guest_client_id_on_cp: ClientId = self.counterparty.ibc.create_client(self.guest_client)
+
+        # Operational actors.
+        self.cranker_payer = Address.derive("cranker-payer")
+        self.host.airdrop(self.cranker_payer, sol_to_lamports(1_000.0))
+        self.cranker = Cranker(
+            self.sim, self.contract,
+            GuestApi(self.host, self.contract, self.cranker_payer),
+            poll_seconds=config.cranker_poll_seconds,
+        )
+
+        self.relayer_payer = Address.derive("relayer-payer")
+        self.host.airdrop(self.relayer_payer, sol_to_lamports(10_000.0))
+        self.relayer_api = GuestApi(self.host, self.contract, self.relayer_payer)
+        self.relayer = Relayer(
+            self.sim, self.host, self.counterparty, self.contract,
+            self.relayer_api, self.guest_client, self.guest_client_id_on_cp,
+            config.relayer,
+        )
+
+        self.gossip = GossipNetwork(self.sim)
+        self.fisherman: Optional[Fisherman] = None
+        if config.with_fisherman:
+            fisherman_payer = Address.derive("fisherman-payer")
+            self.host.airdrop(fisherman_payer, sol_to_lamports(100.0))
+            self.fisherman = Fisherman(
+                self.sim, self.gossip, self.contract,
+                GuestApi(self.host, self.contract, fisherman_payer),
+            )
+
+        # User accounts for workloads and examples.
+        self.user = Address.derive("guest-user")
+        self.host.airdrop(self.user, sol_to_lamports(1_000.0))
+        self.user_api = GuestApi(self.host, self.contract, self.user)
+
+    # ------------------------------------------------------------------
+    # Link establishment (the real handshakes)
+    # ------------------------------------------------------------------
+
+    def establish_link(self, max_seconds: float = 3_600.0,
+                       port: str = "transfer") -> tuple[ChannelId, ChannelId]:
+        """Open a connection and a transfer channel end to end.
+
+        Runs the simulation until both four-step handshakes complete;
+        raises if they do not finish within ``max_seconds``.
+        """
+        outcome: dict[str, ChannelId] = {}
+
+        def channel_open(guest_chan: ChannelId, cp_chan: ChannelId) -> None:
+            outcome["guest"] = guest_chan
+            outcome["cp"] = cp_chan
+
+        def connection_open(guest_conn, cp_conn) -> None:
+            self.relayer.open_channel(PortId(port), PortId(port), channel_open)
+
+        self.relayer.open_connection(
+            self.contract.counterparty_client_id, connection_open,
+        )
+        deadline = self.sim.now + max_seconds
+        while "cp" not in outcome:
+            if self.sim.now >= deadline or not self.sim.step():
+                raise SimulationError(
+                    f"link establishment incomplete after {self.sim.now:.0f} s"
+                )
+        return outcome["guest"], outcome["cp"]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        self.sim.run_until(self.sim.now + seconds)
+
+    def validator_keypair(self, index: int) -> Keypair:
+        for node in self.validators:
+            if node.profile.index == index:
+                return node.keypair
+        raise KeyError(f"no validator with index {index}")
+
+
+def build(config: Optional[DeploymentConfig] = None) -> Deployment:
+    """Build a deployment (default: 4 homogeneous validators, fast)."""
+    return Deployment(config or DeploymentConfig())

@@ -1,0 +1,19 @@
+"""Experiment runners: one per table/figure of the paper's §V.
+
+* :mod:`repro.experiments.evaluation` — the main simulated deployment;
+  produces the data behind Fig. 2 (send latency), Fig. 3 (send cost),
+  Fig. 4 (LC update latency), Fig. 5 (LC update cost), Table I
+  (validator statistics) and the ReceivePacket numbers of §V-A.
+* :mod:`repro.experiments.blocks` — the long-horizon run behind Fig. 6
+  (guest inter-block intervals against the Δ cut-off).
+* :mod:`repro.experiments.storage` — §V-D storage sizing, the rent
+  deposit, and the seal-vs-no-seal occupancy comparison.
+* :mod:`repro.experiments.ablations` — Δ sweep, fee-strategy trade-off
+  and quorum-size sweep (design choices the paper discusses in §VI).
+* :mod:`repro.experiments.report` — text rendering of every result in
+  the paper's format.
+"""
+
+from repro.experiments.evaluation import EvaluationConfig, EvaluationRun
+
+__all__ = ["EvaluationConfig", "EvaluationRun"]

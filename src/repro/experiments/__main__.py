@@ -1,0 +1,88 @@
+"""Command-line harness: regenerate any paper figure from a terminal.
+
+Usage::
+
+    python -m repro.experiments               # everything (≈1-2 min)
+    python -m repro.experiments fig2 fig4     # just those figures
+    python -m repro.experiments --duration-hours 48 table1
+
+Valid targets: fig2 fig3 fig4 fig5 fig6 table1 recv storage all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import report
+from repro.experiments.blocks import BlockIntervalConfig, BlockIntervalRun
+from repro.experiments.evaluation import EvaluationConfig, EvaluationRun
+from repro.experiments.storage import measure_capacity, sealing_ablation
+
+_EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
+_ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage"})
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("targets", nargs="*", default=["all"],
+                        help=f"any of: {' '.join(_ALL_TARGETS)} all")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--duration-hours", type=float, default=24.0,
+                        help="length of the simulated evaluation deployment")
+    parser.add_argument("--fig6-days", type=float, default=3.0,
+                        help="length of the Fig. 6 run")
+    args = parser.parse_args(argv)
+
+    targets = set(args.targets) or {"all"}
+    if "all" in targets:
+        targets = set(_ALL_TARGETS)
+    unknown = targets - set(_ALL_TARGETS)
+    if unknown:
+        parser.error(f"unknown targets: {', '.join(sorted(unknown))}")
+
+    blocks: list[str] = []
+
+    if targets & _EVALUATION_TARGETS:
+        started = time.time()
+        print(f"Running the evaluation deployment "
+              f"({args.duration_hours:.0f} simulated hours)...", file=sys.stderr)
+        results = EvaluationRun(EvaluationConfig(
+            seed=args.seed, duration=args.duration_hours * 3600.0,
+        )).execute()
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        renderers = {
+            "fig2": lambda: report.render_fig2(results),
+            "fig3": lambda: report.render_fig3(results),
+            "fig4": lambda: report.render_fig4(results),
+            "fig5": lambda: report.render_fig5(results),
+            "table1": lambda: report.render_table1(results),
+            "recv": lambda: report.render_receive_packet(results),
+        }
+        for name in ("fig2", "fig3", "fig4", "fig5", "recv", "table1"):
+            if name in targets:
+                blocks.append(renderers[name]())
+
+    if "fig6" in targets:
+        started = time.time()
+        print(f"Running the Fig. 6 deployment "
+              f"({args.fig6_days:.0f} simulated days)...", file=sys.stderr)
+        fig6 = BlockIntervalRun(BlockIntervalConfig(
+            seed=args.seed, duration=args.fig6_days * 24 * 3600.0,
+        )).execute()
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(report.render_fig6(fig6))
+
+    if "storage" in targets:
+        blocks.append(report.render_storage(measure_capacity(), sealing_ablation()))
+
+    print("\n\n".join(blocks))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""§VI-D's last observation, quantified: the guest light client is cheap.
+
+"The guest blockchain may be useful in systems whose light clients have
+high resource demands.  Since the guest blockchain design is simple and
+comes with a lightweight light client implementation, it might replace
+the host light client on the counterparty blockchain."
+
+This experiment measures what a counterparty pays to *follow* each chain
+design: signature verifications per verified header, update bytes on the
+wire, and wall-clock verification time — for the guest light client
+(stake quorum over one fingerprint, ≤24 validators) versus a Tendermint
+light client of a Picasso-sized chain (~190 commit signatures plus
+validator-set bookkeeping).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Hash
+from repro.crypto.simsig import SimSigScheme
+from repro.guest.block import GuestBlockHeader
+from repro.guest.epoch import Epoch
+from repro.lightclient.guest_client import GuestClientUpdate, GuestLightClient
+from repro.lightclient.tendermint import (
+    CometHeader,
+    Commit,
+    LightClientUpdate,
+    TendermintLightClient,
+    ValidatorSet,
+)
+
+
+@dataclass
+class ClientCostPoint:
+    """Per-header cost of following one chain design."""
+
+    name: str
+    validators: int
+    signatures_verified: int
+    update_bytes: int
+    seconds_per_header: float
+
+
+def _measure_guest_client(validator_count: int, headers: int, seed_salt: int) -> ClientCostPoint:
+    scheme = SimSigScheme()
+    keys = [
+        scheme.keypair_from_seed(bytes([seed_salt]) + i.to_bytes(4, "big") + bytes(27))
+        for i in range(validator_count)
+    ]
+    epoch = Epoch(
+        epoch_id=0,
+        validators={kp.public_key: 100 for kp in keys},
+        quorum_stake=100 * validator_count * 2 // 3 + 1,
+    )
+    client = GuestLightClient(scheme, epoch)
+
+    total_bytes = 0
+    total_sigs = 0
+    started = time.perf_counter()
+    for height in range(1, headers + 1):
+        header = GuestBlockHeader(
+            height=height, prev_hash=Hash.zero(), timestamp=float(height),
+            host_slot=height, state_root=Hash.of(height.to_bytes(8, "big")),
+            epoch_id=0, epoch_hash=epoch.canonical_hash(),
+        )
+        message = header.sign_message()
+        signatures = {kp.public_key: kp.sign(message) for kp in keys}
+        total_sigs += len(signatures)
+        # Wire size: fingerprint preimage + per-signer (key + signature).
+        total_bytes += len(message) + len(signatures) * (32 + 64)
+        client.update(GuestClientUpdate(header=header, signatures=signatures))
+    elapsed = time.perf_counter() - started
+    return ClientCostPoint(
+        name="guest",
+        validators=validator_count,
+        signatures_verified=total_sigs // headers,
+        update_bytes=total_bytes // headers,
+        seconds_per_header=elapsed / headers,
+    )
+
+
+def _measure_tendermint_client(validator_count: int, headers: int, seed_salt: int) -> ClientCostPoint:
+    scheme = SimSigScheme()
+    keys = [
+        scheme.keypair_from_seed(bytes([seed_salt]) + i.to_bytes(4, "big") + bytes(27))
+        for i in range(validator_count)
+    ]
+    valset = ValidatorSet(members=tuple((kp.public_key, 100) for kp in keys))
+    client = TendermintLightClient("heavy-1", valset)
+
+    total_bytes = 0
+    total_sigs = 0
+    started = time.perf_counter()
+    for height in range(1, headers + 1):
+        header = CometHeader(
+            chain_id="heavy-1", height=height, time=float(height),
+            app_hash=Hash.of(height.to_bytes(8, "big")),
+            validators_hash=valset.canonical_hash(),
+            next_validators_hash=valset.canonical_hash(),
+        )
+        message = header.sign_bytes()
+        commit = Commit(signatures=tuple(
+            (kp.public_key, kp.sign(message)) for kp in keys
+        ))
+        update = LightClientUpdate(header=header, commit=commit, validator_set=valset)
+        total_sigs += len(commit)
+        total_bytes += len(update.to_bytes())
+        client.update(update, scheme)
+    elapsed = time.perf_counter() - started
+    return ClientCostPoint(
+        name="tendermint",
+        validators=validator_count,
+        signatures_verified=total_sigs // headers,
+        update_bytes=total_bytes // headers,
+        seconds_per_header=elapsed / headers,
+    )
+
+
+def light_client_cost_comparison(guest_validators: int = 24,
+                                 tendermint_validators: int = 190,
+                                 headers: int = 50) -> list[ClientCostPoint]:
+    """Cost per verified header: guest LC vs a heavy host's LC."""
+    return [
+        _measure_guest_client(guest_validators, headers, seed_salt=5),
+        _measure_tendermint_client(tendermint_validators, headers, seed_salt=6),
+    ]

@@ -1,0 +1,6 @@
+"""Fishermen: permissionless misbehaviour monitors (§III-C)."""
+
+from repro.fisherman.fisherman import Fisherman
+from repro.fisherman.evidence import BlockClaim, ByzantineValidator
+
+__all__ = ["BlockClaim", "ByzantineValidator", "Fisherman"]

@@ -1,0 +1,77 @@
+"""Evidence material: block claims and a byzantine validator actor.
+
+A *block claim* is what circulates on the gossip layer: "validator V
+signed (height, fingerprint)".  Honest claims match real guest blocks;
+the three §III-C offences are claims that do not:
+
+1. two signatures for different blocks at the same height,
+2. a signature for a height above the chain's head,
+3. a signature for a block that differs from the known block at that
+   height.
+
+All three reduce on-chain to the same check (the signed fingerprint
+conflicts with the contract's record), which is how the Guest Contract's
+EVIDENCE instruction validates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import Keypair, PublicKey, Signature
+from repro.guest.block import sign_message
+from repro.host.events import HostEvent
+from repro.sim.gossip import GossipNetwork
+from repro.sim.kernel import Simulation
+
+GOSSIP_TOPIC = "guest-block-signatures"
+
+
+@dataclass(frozen=True)
+class BlockClaim:
+    """A (possibly forged) signed block attestation seen on gossip."""
+
+    validator: PublicKey
+    height: int
+    fingerprint: bytes
+    signature: Signature
+
+    def message(self) -> bytes:
+        return sign_message(self.height, self.fingerprint)
+
+
+class ByzantineValidator:
+    """A validator that equivocates: besides (optionally) signing real
+    blocks, it gossips signatures over forged fingerprints.
+
+    Used by tests and the misbehaviour example to exercise the Fisherman
+    and slashing path end to end.
+    """
+
+    def __init__(self, sim: Simulation, gossip: GossipNetwork,
+                 keypair: Keypair, forge_above_head: bool = False) -> None:
+        self.sim = sim
+        self.gossip = gossip
+        self.keypair = keypair
+        self.forge_above_head = forge_above_head
+        self.claims_made: list[BlockClaim] = []
+        self._rng = sim.rng.fork("byzantine")
+
+    def equivocate(self, height: int) -> BlockClaim:
+        """Sign a made-up block at ``height`` and gossip it."""
+        fake_fingerprint = self._rng.bytes(32)
+        claim = BlockClaim(
+            validator=self.keypair.public_key,
+            height=height,
+            fingerprint=fake_fingerprint,
+            signature=self.keypair.sign(sign_message(height, fake_fingerprint)),
+        )
+        self.claims_made.append(claim)
+        self.gossip.publish(GOSSIP_TOPIC, claim)
+        return claim
+
+    def on_new_block(self, event: HostEvent) -> None:
+        """Hook: equivocate on (or above) each real block."""
+        height = event.payload["height"]
+        target = height + 3 if self.forge_above_head else height
+        self.equivocate(target)

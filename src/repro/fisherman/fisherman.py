@@ -1,0 +1,75 @@
+"""The Fisherman actor (§III-C).
+
+Watches the gossip layer for signed block claims, cross-checks each one
+against the Guest Contract's on-chain record, and submits evidence for
+any claim that conflicts — the contract then verifies the signature via
+the runtime precompile and slashes the offender.  Fishermen are
+permissionless; the slashing reward funds the watch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownBlockError
+from repro.fisherman.evidence import GOSSIP_TOPIC, BlockClaim
+from repro.guest.api import GuestApi
+from repro.guest.contract import GuestContract
+from repro.host.transaction import TxReceipt
+from repro.sim.gossip import GossipNetwork
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class FishermanReport:
+    """One submitted piece of evidence and its outcome."""
+
+    claim: BlockClaim
+    accepted: bool
+    error: str | None = None
+
+
+class Fisherman:
+    """Monitors gossip and prosecutes equivocating validators."""
+
+    def __init__(self, sim: Simulation, gossip: GossipNetwork,
+                 contract: GuestContract, api: GuestApi) -> None:
+        self.sim = sim
+        self.contract = contract
+        self.api = api
+        self.reports: list[FishermanReport] = []
+        self._prosecuted: set[tuple[bytes, int, bytes]] = set()
+        gossip.subscribe(GOSSIP_TOPIC, self._on_claim)
+
+    def _is_offence(self, claim: BlockClaim) -> bool:
+        """The three §III-C offences collapse to: the claimed
+        (height, fingerprint) does not match the real chain."""
+        try:
+            block = self.contract.block_at(claim.height)
+        except UnknownBlockError:
+            return True  # signed above the head
+        return claim.fingerprint != block.header.fingerprint()
+
+    def _on_claim(self, claim: BlockClaim) -> None:
+        key = (bytes(claim.validator), claim.height, claim.fingerprint)
+        if key in self._prosecuted:
+            return
+        if not self._is_offence(claim):
+            return  # honest signature; nothing to do
+        if self.contract.staking.stake_of(claim.validator) == 0:
+            return  # nothing to slash
+        self._prosecuted.add(key)
+
+        def record(receipt: TxReceipt) -> None:
+            self.reports.append(FishermanReport(
+                claim=claim, accepted=receipt.success, error=receipt.error,
+            ))
+
+        self.api.submit_evidence(
+            offender=claim.validator,
+            height=claim.height,
+            fingerprint=claim.fingerprint,
+            signature=claim.signature,
+            message=claim.message(),
+            on_result=record,
+        )

@@ -1,0 +1,28 @@
+"""The guest blockchain (§III): a virtual chain emulated by a host program.
+
+The Guest Contract (:mod:`repro.guest.contract`) is the paper's Alg. 1: it
+maintains the guest chain's provable state in a sealable trie, produces
+guest blocks, collects validator signatures until a stake quorum finalises
+each block, and bridges IBC packets between the host and the counterparty.
+
+Support modules: block/epoch value types, the Proof-of-Stake staking pool
+(§III-B), and a client-side transaction builder
+(:mod:`repro.guest.api`) that host users invoke the contract through.
+"""
+
+from repro.guest.block import GuestBlock, GuestBlockHeader
+from repro.guest.config import GuestConfig
+from repro.guest.contract import GuestContract
+from repro.guest.epoch import Epoch
+from repro.guest.staking import StakingPool
+from repro.guest.api import GuestApi
+
+__all__ = [
+    "Epoch",
+    "GuestApi",
+    "GuestBlock",
+    "GuestBlockHeader",
+    "GuestConfig",
+    "GuestContract",
+    "StakingPool",
+]

@@ -1,0 +1,391 @@
+"""Client-side transaction builder for the Guest Contract.
+
+Wraps every contract operation into properly sized host transactions:
+single-transaction calls (send, generate, sign, stake), atomic bundles
+for packet delivery (the 4–5 transactions of §V-A that land in one host
+block), and the windowed multi-transaction flow for chunked light-client
+updates (the 36.5-transaction updates of Fig. 4).
+
+Validators, relayers, fishermen and the examples all drive the guest
+through this API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.crypto.keys import Keypair, PublicKey, Signature
+from repro.guest import instructions as ins
+from repro.guest.contract import GuestContract
+from repro.host.chain import HostChain
+from repro.host.fees import BaseFee, FeeStrategy
+from repro.host.transaction import Instruction, SigVerify, Transaction, TxReceipt
+from repro.lightclient.chunked import plan_update_chunks
+from repro.lightclient.tendermint import LightClientUpdate
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class LcUpdateResult:
+    """Outcome of one chunked light-client update (Fig. 4/5 data point)."""
+
+    height: int
+    transaction_count: int
+    signature_count: int
+    total_fee: int
+    #: Host times of the first and last executed transaction (§V-A's
+    #: latency definition for light-client updates).
+    first_tx_time: float
+    last_tx_time: float
+    success: bool
+
+    @property
+    def latency(self) -> float:
+        return self.last_tx_time - self.first_tx_time
+
+
+@dataclass
+class DeliveryResult:
+    """Outcome of one bundled packet delivery / ack / timeout."""
+
+    transaction_count: int
+    total_fee: int
+    slot: int
+    success: bool
+    error: Optional[str] = None
+
+
+class GuestApi:
+    """Builds and submits Guest Contract transactions for one payer."""
+
+    def __init__(self, chain: HostChain, contract: GuestContract,
+                 payer, default_fee: Optional[FeeStrategy] = None) -> None:
+        self.chain = chain
+        self.contract = contract
+        self.payer = payer
+        self.default_fee = default_fee or BaseFee()
+
+    # ------------------------------------------------------------------
+    # Single-transaction operations
+    # ------------------------------------------------------------------
+
+    def _single(self, data: bytes, fee: Optional[FeeStrategy] = None,
+                sig_verifies: tuple[SigVerify, ...] = (),
+                compute_budget: Optional[int] = None,
+                on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        tx = Transaction(
+            payer=self.payer,
+            instructions=(Instruction(
+                self.contract.program_id,
+                (self.contract.state_account, self.contract.treasury),
+                data,
+            ),),
+            fee_strategy=fee or self.default_fee,
+            sig_verifies=sig_verifies,
+            compute_budget=compute_budget,
+        )
+        self.chain.submit(tx, on_result=on_result)
+
+    def send_packet(self, port: str, channel: str, payload: bytes,
+                    timeout_timestamp: float = 0.0,
+                    fee: Optional[FeeStrategy] = None,
+                    compute_budget: Optional[int] = None,
+                    on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(
+            ins.send_packet(port, channel, payload, timeout_timestamp),
+            fee=fee, compute_budget=compute_budget, on_result=on_result,
+        )
+
+    def send_packet_via_bundle(self, port: str, channel: str, payload: bytes,
+                               tip_lamports: int,
+                               timeout_timestamp: float = 0.0,
+                               on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Send a packet through a block bundle (the Jito path of §V-A:
+        the 3.02 USD cost cluster of Fig. 3)."""
+        tx = Transaction(
+            payer=self.payer,
+            instructions=(Instruction(
+                self.contract.program_id,
+                (self.contract.state_account, self.contract.treasury),
+                ins.send_packet(port, channel, payload, timeout_timestamp),
+            ),),
+            fee_strategy=BaseFee(),
+        )
+
+        def collect(receipts: list[TxReceipt]) -> None:
+            if on_result is not None:
+                on_result(receipts[0])
+
+        self.chain.submit_bundle([tx], tip_lamports=tip_lamports, on_result=collect)
+
+    def generate_block(self, fee: Optional[FeeStrategy] = None,
+                       on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(ins.generate_block(), fee=fee, on_result=on_result)
+
+    def sign_block(self, height: int, validator: Keypair, message: bytes,
+                   fee: Optional[FeeStrategy] = None,
+                   compute_budget: int = 200_000,
+                   on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Submit a validator's signature (Alg. 2 upper half): the
+        signature rides both as instruction data (stored in the block)
+        and as a precompile entry (verified by the runtime)."""
+        signature = validator.sign(message)
+        self._single(
+            ins.sign_block(height, validator.public_key, signature),
+            fee=fee,
+            sig_verifies=(SigVerify(validator.public_key, message, signature),),
+            compute_budget=compute_budget,
+            on_result=on_result,
+        )
+
+    def stake(self, validator_key: PublicKey, lamports: int,
+              on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(ins.stake(validator_key, lamports), on_result=on_result)
+
+    def unstake(self, validator_key: PublicKey, lamports: int,
+                on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(ins.unstake(validator_key, lamports), on_result=on_result)
+
+    def withdraw_stake(self, validator_key: PublicKey,
+                       on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(ins.withdraw_stake(validator_key), on_result=on_result)
+
+    def claim_rewards(self, validator: Keypair,
+                      on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Withdraw accrued signing rewards to this API's payer (§V-C)."""
+        message = ins.claim_message(validator.public_key, bytes(self.payer))
+        signature = validator.sign(message)
+        self._single(
+            ins.claim_rewards(validator.public_key),
+            sig_verifies=(SigVerify(validator.public_key, message, signature),),
+            on_result=on_result,
+        )
+
+    def confirm_ack(self, port: str, channel: str, sequence: int,
+                    on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        self._single(ins.confirm_ack(port, channel, sequence), on_result=on_result)
+
+    def submit_evidence(self, offender: PublicKey, height: int,
+                        fingerprint: bytes, signature: Signature,
+                        message: bytes,
+                        on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Fisherman path (§III-C): ship the offending signature."""
+        from repro.encoding import encode_bytes
+        payload = bytes(offender) + _varint(height) + encode_bytes(fingerprint)
+        self._single(
+            ins.evidence(1, payload),
+            sig_verifies=(SigVerify(offender, message, signature),),
+            on_result=on_result,
+        )
+
+    def submit_handshake(self, msg,
+                         on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        """Ship one IBC handshake datagram to the guest — inline when it
+        fits one transaction, staged through chunks otherwise."""
+        from repro.ibc.messages import encode_handshake
+        from repro.lightclient.chunked import usable_chunk_bytes
+        msg_bytes = encode_handshake(msg)
+        if len(msg_bytes) + 16 <= usable_chunk_bytes(self.chain.config.max_transaction_bytes):
+            def single_done(receipt: TxReceipt) -> None:
+                if on_done is not None:
+                    on_done(DeliveryResult(
+                        transaction_count=1, total_fee=receipt.fee_paid,
+                        slot=receipt.slot, success=receipt.success,
+                        error=receipt.error,
+                    ))
+            self._single(ins.handshake(msg_bytes), on_result=single_done)
+        else:
+            self._buffered_exec(msg_bytes, ins.handshake_exec, 10_000, on_done)
+
+    # ------------------------------------------------------------------
+    # Chunked light-client update (Fig. 4/5)
+    # ------------------------------------------------------------------
+
+    def submit_lc_update(self, update: LightClientUpdate,
+                         window: int = 4,
+                         fee: Optional[FeeStrategy] = None,
+                         on_done: Optional[Callable[[LcUpdateResult], None]] = None) -> None:
+        """Ship one counterparty header to the guest's light client.
+
+        Transactions are submitted ``window`` at a time (real relayers
+        rate-limit to keep their fee bills predictable and their
+        transactions ordered), with the finalize transaction strictly
+        last.  The result records the §V-A latency: time between the
+        first and last executed host transaction.
+        """
+        plan = plan_update_chunks(
+            update, self.contract.known_valset_hashes(),
+            tx_size_limit=self.chain.config.max_transaction_bytes,
+        )
+        buffer_id = next(_buffer_ids)
+        fee = fee or self.default_fee
+
+        transactions: list[Transaction] = []
+        total_chunks = len(plan.data_chunks)
+        for index, chunk in enumerate(plan.data_chunks):
+            transactions.append(Transaction(
+                payer=self.payer,
+                instructions=(Instruction(
+                    self.contract.program_id,
+                    (self.contract.state_account,),
+                    ins.chunk(buffer_id, index, total_chunks, chunk),
+                ),),
+                fee_strategy=fee,
+            ))
+        for batch in plan.signature_batches:
+            entries = tuple(
+                SigVerify(public_key, plan.sign_message, signature)
+                for public_key, signature in batch
+            )
+            transactions.append(Transaction(
+                payer=self.payer,
+                instructions=(Instruction(
+                    self.contract.program_id,
+                    (self.contract.state_account,),
+                    ins.lc_sig_batch(buffer_id),
+                ),),
+                fee_strategy=fee,
+                sig_verifies=entries,
+            ))
+        finalize = Transaction(
+            payer=self.payer,
+            instructions=(Instruction(
+                self.contract.program_id,
+                (self.contract.state_account,),
+                ins.lc_finalize(buffer_id),
+            ),),
+            fee_strategy=fee,
+        )
+
+        state = {
+            "first": None, "last": 0.0, "fees": 0, "ok": True,
+            "queue": list(transactions), "in_flight": 0,
+        }
+
+        def finish(receipt: TxReceipt) -> None:
+            _track(state, receipt)
+            if on_done is not None:
+                on_done(LcUpdateResult(
+                    height=update.header.height,
+                    transaction_count=plan.transaction_count,
+                    signature_count=plan.signature_count,
+                    total_fee=state["fees"],
+                    first_tx_time=state["first"] if state["first"] is not None else receipt.time,
+                    last_tx_time=state["last"],
+                    success=state["ok"] and receipt.success,
+                ))
+
+        def pump(receipt: Optional[TxReceipt] = None) -> None:
+            if receipt is not None:
+                _track(state, receipt)
+                state["in_flight"] -= 1
+            while state["queue"] and state["in_flight"] < window:
+                tx = state["queue"].pop(0)
+                state["in_flight"] += 1
+                self.chain.submit(tx, on_result=pump)
+            if not state["queue"] and state["in_flight"] == 0:
+                self.chain.submit(finalize, on_result=finish)
+
+        pump()
+
+    # ------------------------------------------------------------------
+    # Bundled packet operations (§V-A's 4–5 transactions, one block)
+    # ------------------------------------------------------------------
+
+    def _buffered_exec(self, msg_bytes: bytes,
+                       exec_ins_for: Callable[[int], bytes],
+                       tip_lamports: int,
+                       on_done: Optional[Callable[[DeliveryResult], None]]) -> None:
+        from repro.lightclient.chunked import usable_chunk_bytes
+        buffer_id = next(_buffer_ids)
+        exec_ins = exec_ins_for(buffer_id)
+        chunk_size = usable_chunk_bytes(self.chain.config.max_transaction_bytes)
+        chunks = [
+            msg_bytes[offset : offset + chunk_size]
+            for offset in range(0, len(msg_bytes), chunk_size)
+        ] or [b""]
+        transactions = [
+            Transaction(
+                payer=self.payer,
+                instructions=(Instruction(
+                    self.contract.program_id,
+                    (self.contract.state_account,),
+                    ins.chunk(buffer_id, index, len(chunks), chunk),
+                ),),
+                fee_strategy=BaseFee(),
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        transactions.append(Transaction(
+            payer=self.payer,
+            instructions=(Instruction(
+                self.contract.program_id,
+                (self.contract.state_account, self.contract.treasury),
+                exec_ins,
+            ),),
+            fee_strategy=BaseFee(),
+        ))
+
+        def collect(receipts: list[TxReceipt]) -> None:
+            if on_done is not None:
+                failures = [r for r in receipts if not r.success]
+                on_done(DeliveryResult(
+                    transaction_count=len(receipts),
+                    total_fee=sum(r.fee_paid for r in receipts),
+                    slot=receipts[-1].slot,
+                    success=not failures,
+                    error=failures[0].error if failures else None,
+                ))
+
+        self.chain.submit_bundle(transactions, tip_lamports=tip_lamports,
+                                 on_result=collect)
+
+    def deliver_packet(self, packet, proof, proof_height: int,
+                       tip_lamports: int = 10_000,
+                       on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        """ReceivePacket: stage packet + proof, execute — one atomic
+        bundle, hence one host block (§V-A)."""
+        msg = ins.BufferedPacketMsg(
+            packet_bytes=packet.to_bytes(),
+            proof_bytes=proof.to_bytes(),
+            proof_height=proof_height,
+        )
+        self._buffered_exec(msg.to_bytes(), ins.recv_exec, tip_lamports, on_done)
+
+    def acknowledge_packet(self, packet, ack, proof, proof_height: int,
+                           tip_lamports: int = 10_000,
+                           on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        msg = ins.BufferedPacketMsg(
+            packet_bytes=packet.to_bytes(),
+            proof_bytes=proof.to_bytes(),
+            proof_height=proof_height,
+            ack_bytes=ack.to_bytes(),
+        )
+        self._buffered_exec(msg.to_bytes(), ins.ack_exec, tip_lamports, on_done)
+
+    def timeout_packet(self, packet, proof, proof_height: int,
+                       tip_lamports: int = 10_000,
+                       on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        msg = ins.BufferedPacketMsg(
+            packet_bytes=packet.to_bytes(),
+            proof_bytes=proof.to_bytes(),
+            proof_height=proof_height,
+        )
+        self._buffered_exec(msg.to_bytes(), ins.timeout_exec, tip_lamports, on_done)
+
+
+def _track(state: dict, receipt: TxReceipt) -> None:
+    if state["first"] is None or receipt.time < state["first"]:
+        state["first"] = receipt.time
+    state["last"] = max(state["last"], receipt.time)
+    state["fees"] += receipt.fee_paid
+    if not receipt.success:
+        state["ok"] = False
+
+
+def _varint(value: int) -> bytes:
+    from repro.encoding import encode_varint
+    return encode_varint(value)

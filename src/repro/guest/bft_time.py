@@ -1,0 +1,90 @@
+"""BFT time: block timestamps from a stake-weighted median (§VI-D).
+
+The guest blockchain normally inherits the host's timestamps.  §VI-D
+notes that a host *without* trustworthy timestamps could still feed IBC
+timeouts by deriving block time from the validators themselves: "A
+timestamp can be introduced by using the median of the signer's
+timestamps" (the Tendermint BFT-time rule [38]).
+
+This module implements that rule for the guest's stake-weighted setting:
+
+* each signer attests its local clock alongside its block signature;
+* the block's *attested time* is the *stake-weighted median* of those
+  attestations — the smallest attested time such that signers at or
+  below it hold at least half of the participating stake;
+* monotonicity is enforced against the parent block's time.
+
+Security property (tested in ``tests/test_bft_time.py``): as long as
+signers holding **more than half of the participating stake** are honest
+and roughly synchronised, the attested time lies within the honest
+clock range — a coalition below that threshold can bias the median only
+*into* the honest interval, never beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.errors import GuestError
+from repro.guest.epoch import Epoch
+
+
+@dataclass(frozen=True)
+class TimeAttestation:
+    """One signer's clock reading for one block."""
+
+    validator: PublicKey
+    timestamp: float
+
+
+def weighted_median_time(attestations: list[TimeAttestation], epoch: Epoch) -> float:
+    """The stake-weighted median of the signers' clock attestations.
+
+    Attestations from keys outside the epoch are ignored (they carry no
+    stake).  With an even stake split the *lower* median is returned —
+    a deterministic choice both chains can recompute.
+    """
+    weighted = [
+        (attestation.timestamp, epoch.stake(attestation.validator))
+        for attestation in attestations
+        if epoch.is_validator(attestation.validator)
+    ]
+    weighted = [(ts, stake) for ts, stake in weighted if stake > 0]
+    if not weighted:
+        raise GuestError("no staked attestations to derive a timestamp from")
+    weighted.sort()
+    total = sum(stake for _, stake in weighted)
+    threshold = (total + 1) // 2  # at least half the participating stake
+    accumulated = 0
+    for timestamp, stake in weighted:
+        accumulated += stake
+        if accumulated >= threshold:
+            return timestamp
+    return weighted[-1][0]  # pragma: no cover - unreachable
+
+
+def attested_block_time(attestations: list[TimeAttestation], epoch: Epoch,
+                        parent_time: float, min_step: float = 0.001) -> float:
+    """The BFT-time rule: weighted median, forced monotone.
+
+    A block's time must strictly exceed its parent's; if the median does
+    not (clock skew, replayed attestations), it is clamped to
+    ``parent_time + min_step``, as Tendermint does.
+    """
+    median = weighted_median_time(attestations, epoch)
+    if median <= parent_time:
+        return parent_time + min_step
+    return median
+
+
+def honest_time_bounds(attestations: list[TimeAttestation], epoch: Epoch,
+                       honest: set[PublicKey]) -> tuple[float, float]:
+    """The [min, max] clock range of the honest signers (analysis aid)."""
+    times = [
+        attestation.timestamp for attestation in attestations
+        if attestation.validator in honest and epoch.is_validator(attestation.validator)
+    ]
+    if not times:
+        raise GuestError("no honest attestations")
+    return min(times), max(times)

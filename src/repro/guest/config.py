@@ -1,0 +1,66 @@
+"""Deployment parameters of the guest blockchain.
+
+Defaults mirror the mainnet configuration reported in §IV: Δ = 1 hour
+(minimum time between empty blocks), epochs of 100 000 host blocks
+(≈ 12 hours at 400 ms slots... the paper says "roughly 12 hours"; at
+0.4 s × 100 000 = ~11.1 h), stake held for one week after exit, and at
+most 24 validators (the deployment's validator count, §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.units import (
+    DELTA_SECONDS,
+    MIN_EPOCH_HOST_BLOCKS,
+    STAKE_UNBONDING_SECONDS,
+    sol_to_lamports,
+)
+
+
+@dataclass(frozen=True)
+class GuestConfig:
+    """Tunables of one guest-blockchain deployment."""
+
+    #: Δ — maximum head age before an (empty) block may be generated,
+    #: needed so counterparties can observe guest time for IBC timeouts.
+    delta_seconds: float = DELTA_SECONDS
+    #: Minimum epoch length, counted in host blocks (§IV).
+    epoch_length_host_blocks: int = MIN_EPOCH_HOST_BLOCKS
+    #: How long a quitting validator's stake stays locked (§IV: one week).
+    unbonding_seconds: float = STAKE_UNBONDING_SECONDS
+    #: Validator-set size cap (the deployment had 24 validators, §V).
+    max_validators: int = 24
+    #: Minimum stake to become a validator candidate.
+    min_stake_lamports: int = sol_to_lamports(1.0)
+    #: Stake fraction whose signatures finalise a block.
+    quorum_fraction: Fraction = Fraction(2, 3)
+    #: Fee charged by SendPacket, per packet (flat part)...
+    send_fee_lamports: int = 10_000
+    #: ...plus per payload byte.
+    send_fee_per_byte: int = 10
+    #: Fraction of stake slashed on proven misbehaviour.
+    slash_fraction: Fraction = Fraction(1, 2)
+    #: §V-C future work, implemented: share of the packet fees collected
+    #: since the previous finalised block that is distributed (pro rata
+    #: by stake) to the validators whose signatures finalised it.
+    signer_reward_share: Fraction = Fraction(9, 10)
+    #: Size of the guest state account allocated on the host (10 MiB:
+    #: "the largest possible account size on Solana", §V-D).
+    state_account_bytes: int = 10 * 1024 * 1024
+    #: §VI-A mitigation: if no guest block has been generated for this
+    #: long, anyone may trigger self-destruction, releasing all bonded
+    #: stake immediately (None disables the clause).
+    self_destruct_after_seconds: float | None = None
+    #: §VI-C mitigation: minimum spacing between accepted counterparty
+    #: light-client updates, bounding how fast an attacker who broke the
+    #: counterparty could advance the client (None disables).
+    lc_min_update_interval: float | None = None
+
+    def quorum_stake(self, total_stake: int) -> int:
+        """Smallest signed stake that finalises a block: strictly more
+        than ``quorum_fraction`` of ``total_stake``."""
+        threshold = (total_stake * self.quorum_fraction.numerator) // self.quorum_fraction.denominator
+        return threshold + 1

@@ -1,0 +1,692 @@
+"""The Guest Contract: Alg. 1 of the paper, as a host program.
+
+The contract is the guest blockchain.  It owns the sealable trie (the
+guest's provable state), produces guest blocks, collects validator
+signatures until a stake quorum finalises each block, runs the embedded
+IBC module, and hosts the chunked Tendermint light client of the
+counterparty.  Everything arrives as host instructions under the host
+runtime's constraints — transaction size, compute budget, per-signature
+fees — which is where the measured costs of §V come from.
+
+Instruction map (see :mod:`repro.guest.instructions`):
+
+=================  =======================================================
+``SEND_PACKET``    Alg. 1 ``SendPacket``: collect fees, commit the packet
+``GENERATE_BLOCK`` Alg. 1 ``GenerateBlock``: head finalised ∧ (state
+                   changed ∨ age ≥ Δ) → new block, ``NewBlock`` event
+``SIGN_BLOCK``     Alg. 1 ``Sign``: runtime-verified validator signature;
+                   on quorum → ``FinalisedBlock`` event
+``CHUNK``          stage bytes of an oversized message into a buffer
+``LC_SIG_BATCH``   credit runtime-verified commit signatures to a buffer
+``LC_FINALIZE``    assemble + apply a counterparty light-client update
+``RECV_EXEC``      Alg. 1 ``ReceivePacket`` over a staged packet + proof
+``ACK_EXEC``       process a counterparty acknowledgement (staged proof)
+``TIMEOUT_EXEC``   cancel an expired packet (staged non-membership proof)
+``CONFIRM_ACK``    seal a no-longer-needed ack entry (§III-A)
+``STAKE`` etc.     §III-B Proof-of-Stake staking pool
+``EVIDENCE``       §III-C Fisherman misbehaviour reports → slashing
+=================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.hashing import Hash
+from repro.crypto.keys import PublicKey, Signature
+from repro.encoding import Reader
+from repro.errors import (
+    AlreadySignedError,
+    GuestError,
+    HeadNotFinalisedError,
+    ProgramError,
+    StaleBlockError,
+    UnknownBlockError,
+)
+from repro.guest.block import GuestBlock, GuestBlockHeader, sign_message
+from repro.guest.config import GuestConfig
+from repro.guest.epoch import Epoch
+from repro.guest.instructions import BufferedPacketMsg, Op
+from repro.guest.staking import StakingPool
+from repro.host.accounts import Address
+from repro.host.programs import InvokeContext, Program
+from repro.ibc.apps.transfer import Bank, TransferApp
+from repro.ibc.host import IbcHost
+from repro.ibc.identifiers import ChannelId, PortId
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.lightclient.tendermint import (
+    CometHeader,
+    TendermintLightClient,
+    ValidatorSet,
+)
+from repro.trie.proof import MembershipProof, NonMembershipProof
+from repro.trie.store import ProvableStore
+
+
+@dataclass
+class _Buffer:
+    """A staging buffer for one oversized message."""
+
+    owner: Address
+    total_chunks: int
+    chunks: dict[int, bytes] = field(default_factory=dict)
+    #: Runtime-verified (public key, message) pairs credited so far.
+    verified_signers: list[tuple[PublicKey, bytes]] = field(default_factory=list)
+
+    def is_complete(self) -> bool:
+        return len(self.chunks) == self.total_chunks
+
+    def assembled(self) -> bytes:
+        if not self.is_complete():
+            raise ProgramError(
+                f"buffer has {len(self.chunks)} of {self.total_chunks} chunks"
+            )
+        return b"".join(self.chunks[i] for i in range(self.total_chunks))
+
+    def byte_size(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks.values())
+
+
+class GuestContract(Program):
+    """The guest blockchain, deployed as a program on the host chain."""
+
+    def __init__(self, config: GuestConfig, counterparty_chain_id: str,
+                 program_id: Optional[Address] = None) -> None:
+        self.config = config
+        self._program_id = program_id or Address.derive("guest-contract")
+        self.state_account = Address.derive("guest-state")
+        self.treasury = Address.derive("guest-treasury")
+
+        self.store = ProvableStore()
+        self.ibc = IbcHost("guest", store=self.store, seal_receipts=True)
+        self.bank = Bank()
+        self.transfer_port = PortId("transfer")
+        self.transfer = TransferApp(self.bank, self.transfer_port)
+        self.ibc.bind_port(self.transfer_port, self.transfer)
+
+        self.staking = StakingPool(config)
+        self.blocks: list[GuestBlock] = []
+        self.epochs: dict[int, Epoch] = {}
+        self.epochs_by_hash: dict[Hash, Epoch] = {}
+        self.current_epoch: Optional[Epoch] = None
+        self._epoch_start_slot = 0
+        #: Packets committed since the last block, waiting for inclusion.
+        self._pending_packets: list[Packet] = []
+        self._packets_by_height: dict[int, tuple[Packet, ...]] = {}
+        #: Frozen store views per finalised height, for serving proofs.
+        self._state_views: dict[int, ProvableStore] = {}
+        self._buffers: dict[tuple[Address, int], _Buffer] = {}
+        self.counterparty_client = TendermintLightClient(
+            counterparty_chain_id,
+            ValidatorSet(members=()),
+        )
+        self.counterparty_client_id = self.ibc.create_client(self.counterparty_client)
+        self.ibc.self_client_validator = self._validate_claim_about_guest
+        self.fees_collected = 0
+        #: Packet fees awaiting distribution at the next finalisation.
+        self._undistributed_fees = 0
+        #: Accrued (unclaimed) signing rewards per validator (§V-C).
+        self.reward_balances: dict[PublicKey, int] = {}
+        self.initialized = False
+        self.halted = False
+        self._last_lc_update_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Program interface
+    # ------------------------------------------------------------------
+
+    @property
+    def program_id(self) -> Address:
+        return self._program_id
+
+    def execute(self, ctx: InvokeContext, data: bytes) -> None:
+        if not data:
+            raise ProgramError("empty instruction")
+        opcode, payload = data[0], data[1:]
+        if self.halted and opcode not in (Op.WITHDRAW_STAKE, Op.UNSTAKE):
+            raise GuestError(
+                "guest has self-destructed; only stake recovery remains"
+            )
+        reader = Reader(payload)
+        if opcode == Op.SEND_PACKET:
+            self._op_send_packet(ctx, reader)
+        elif opcode == Op.GENERATE_BLOCK:
+            self._op_generate_block(ctx)
+        elif opcode == Op.SIGN_BLOCK:
+            self._op_sign_block(ctx, reader)
+        elif opcode == Op.STAKE:
+            self._op_stake(ctx, reader)
+        elif opcode == Op.UNSTAKE:
+            self._op_unstake(ctx, reader)
+        elif opcode == Op.WITHDRAW_STAKE:
+            self._op_withdraw(ctx, reader)
+        elif opcode == Op.CHUNK:
+            self._op_chunk(ctx, reader)
+        elif opcode == Op.LC_SIG_BATCH:
+            self._op_lc_sig_batch(ctx, reader)
+        elif opcode == Op.LC_FINALIZE:
+            self._op_lc_finalize(ctx, reader)
+        elif opcode == Op.RECV_EXEC:
+            self._op_recv_exec(ctx, reader)
+        elif opcode == Op.ACK_EXEC:
+            self._op_ack_exec(ctx, reader)
+        elif opcode == Op.TIMEOUT_EXEC:
+            self._op_timeout_exec(ctx, reader)
+        elif opcode == Op.CONFIRM_ACK:
+            self._op_confirm_ack(ctx, reader)
+        elif opcode == Op.EVIDENCE:
+            self._op_evidence(ctx, reader)
+        elif opcode == Op.HANDSHAKE:
+            self._op_handshake(ctx, reader.read_bytes())
+        elif opcode == Op.HANDSHAKE_EXEC:
+            buffer = self._consume_buffer(ctx.payer, reader.read_varint())
+            self._op_handshake(ctx, buffer.assembled())
+        elif opcode == Op.SELF_DESTRUCT:
+            self._op_self_destruct(ctx)
+        elif opcode == Op.CLAIM_REWARDS:
+            self._op_claim_rewards(ctx, reader)
+        else:
+            raise ProgramError(f"unknown opcode {opcode}")
+        self._check_state_budget()
+
+    # ------------------------------------------------------------------
+    # Genesis (deploy-time, performed once by the deployer)
+    # ------------------------------------------------------------------
+
+    def initialize(self, ctx_slot: int, ctx_time: float) -> None:
+        """Create the genesis block from the initial candidate set.
+
+        Deployment-time action: the deployer has already funded the 10 MiB
+        state account (§V-D) and the initial validators have bonded
+        through STAKE instructions.
+        """
+        if self.initialized:
+            raise GuestError("guest already initialized")
+        epoch = self.staking.select_epoch(epoch_id=0)
+        self._adopt_epoch(epoch)
+        self.current_epoch = epoch
+        self._epoch_start_slot = ctx_slot
+        header = GuestBlockHeader(
+            height=0,
+            prev_hash=Hash.zero(),
+            timestamp=ctx_time,
+            host_slot=ctx_slot,
+            state_root=self.store.root_hash,
+            epoch_id=0,
+            epoch_hash=epoch.canonical_hash(),
+        )
+        genesis = GuestBlock(header=header, finalised=True,
+                             generated_at=ctx_time, finalised_at=ctx_time)
+        self.blocks.append(genesis)
+        self._packets_by_height[0] = ()
+        self._state_views[0] = self.store.snapshot()
+        self.initialized = True
+
+    def _adopt_epoch(self, epoch: Epoch) -> None:
+        self.epochs[epoch.epoch_id] = epoch
+        self.epochs_by_hash[epoch.canonical_hash()] = epoch
+
+    # ------------------------------------------------------------------
+    # Alg. 1: SendPacket
+    # ------------------------------------------------------------------
+
+    def _op_send_packet(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        port = PortId(reader.read_bytes().decode())
+        channel = ChannelId(reader.read_bytes().decode())
+        payload = reader.read_bytes()
+        timeout = reader.read_varint() / 1000.0
+        reader.expect_end()
+
+        fee = self.config.send_fee_lamports + self.config.send_fee_per_byte * len(payload)
+        ctx.transfer(ctx.payer, self.treasury, fee)  # collect_fees (Alg. 1 l.7)
+        self.fees_collected += fee
+        self._undistributed_fees += fee
+
+        ctx.meter.charge_hash(len(payload))
+        ctx.meter.charge_trie_nodes(16)
+        packet = self.ibc.send_packet(port, channel, payload, timeout)
+        self._pending_packets.append(packet)
+        ctx.emit("PacketCommitted", height_hint=self.head.height + 1,
+                 sequence=packet.sequence, channel=str(channel))
+
+    # ------------------------------------------------------------------
+    # Alg. 1: GenerateBlock
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> GuestBlock:
+        if not self.blocks:
+            raise GuestError("guest has no blocks (not initialized)")
+        return self.blocks[-1]
+
+    def _op_generate_block(self, ctx: InvokeContext) -> None:
+        self._require_initialized()
+        head = self.head
+        if not head.finalised:
+            raise HeadNotFinalisedError(
+                f"head block {head.height} awaits quorum"
+            )
+        age = ctx.unix_time - head.header.timestamp
+        state_changed = self.store.root_hash != head.header.state_root
+        if not state_changed and age < self.config.delta_seconds:
+            raise StaleBlockError(
+                f"state unchanged and head is only {age:.0f} s old "
+                f"(Δ = {self.config.delta_seconds:.0f} s)"
+            )
+
+        assert self.current_epoch is not None
+        epoch = self.current_epoch
+        rotate = (
+            ctx.slot - self._epoch_start_slot >= self.config.epoch_length_host_blocks
+        )
+        next_epoch: Optional[Epoch] = None
+        if rotate:
+            try:
+                next_epoch = self.staking.select_epoch(epoch.epoch_id + 1)
+            except GuestError:
+                next_epoch = None  # no eligible candidates: stay put
+        header = GuestBlockHeader(
+            height=head.height + 1,
+            prev_hash=head.header.block_hash(),
+            timestamp=ctx.unix_time,
+            host_slot=ctx.slot,
+            state_root=self.store.root_hash,
+            epoch_id=epoch.epoch_id,
+            epoch_hash=epoch.canonical_hash(),
+            packet_hashes=tuple(p.commitment_hash() for p in self._pending_packets),
+            last_in_epoch=next_epoch is not None,
+            next_epoch_hash=next_epoch.canonical_hash() if next_epoch else None,
+        )
+        block = GuestBlock(header=header, generated_at=ctx.unix_time)
+        self.blocks.append(block)
+        self._packets_by_height[header.height] = tuple(self._pending_packets)
+        self._pending_packets = []
+        self._state_views[header.height] = self.store.snapshot()
+        if next_epoch is not None:
+            self._adopt_epoch(next_epoch)
+            self.current_epoch = next_epoch
+            self._epoch_start_slot = ctx.slot
+        ctx.meter.charge_hash(256)
+        ctx.emit("NewBlock", height=header.height, header=header)
+
+    # ------------------------------------------------------------------
+    # Alg. 1: Sign
+    # ------------------------------------------------------------------
+
+    def _op_sign_block(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        height = reader.read_varint()
+        public_key = PublicKey(reader.read(32))
+        signature = Signature(reader.read(64))
+        reader.expect_end()
+
+        block = self.block_at(height)                      # Alg. 1 l.20–21
+        epoch = self.epochs[block.header.epoch_id]
+        if not epoch.is_validator(public_key):             # l.22
+            raise GuestError(f"{public_key.short()} not in epoch {epoch.epoch_id}")
+        if public_key in block.signers:                    # l.23
+            raise AlreadySignedError(
+                f"{public_key.short()} already signed block {height}"
+            )
+        message = block.header.sign_message()
+        if not ctx.is_signature_verified(public_key, message):  # l.24
+            raise GuestError("signature not verified by the runtime")
+
+        block.add_signature(public_key, signature)         # l.25
+        if not block.finalised and epoch.has_quorum(block.signer_set()):  # l.26–28
+            block.finalised = True                          # l.29
+            block.finalised_at = ctx.unix_time
+            self._distribute_rewards(block, epoch)
+            packets = self._packets_by_height.get(height, ())
+            ctx.emit(                                      # l.30
+                "FinalisedBlock",
+                height=height,
+                header=block.header,
+                packets=packets,
+                signatures=dict(block.signers),
+                new_epoch=(
+                    self.epochs_by_hash.get(block.header.next_epoch_hash)
+                    if block.header.next_epoch_hash is not None else None
+                ),
+            )
+
+    def _distribute_rewards(self, block: GuestBlock, epoch: Epoch) -> None:
+        """Split the accrued packet fees among the finalising signers,
+        pro rata by stake (the §V-C incentive the deployment lacked).
+
+        Late signatures (after quorum) earn nothing — which is why
+        rational validators skip already-finalised blocks."""
+        share = self.config.signer_reward_share
+        pool = (self._undistributed_fees * share.numerator) // share.denominator
+        if pool <= 0:
+            return
+        signers = block.signer_set()
+        signed_stake = epoch.signed_stake(signers)
+        if signed_stake <= 0:
+            return
+        distributed = 0
+        for signer in signers:
+            amount = pool * epoch.stake(signer) // signed_stake
+            if amount:
+                self.reward_balances[signer] = (
+                    self.reward_balances.get(signer, 0) + amount
+                )
+                distributed += amount
+        self._undistributed_fees -= distributed
+
+    def _op_claim_rewards(self, ctx: InvokeContext, reader: Reader) -> None:
+        from repro.guest.instructions import claim_message
+        public_key = PublicKey(reader.read(32))
+        reader.expect_end()
+        message = claim_message(public_key, bytes(ctx.payer))
+        if not ctx.is_signature_verified(public_key, message):
+            raise GuestError("reward claim not authorised by the validator key")
+        amount = self.reward_balances.pop(public_key, 0)
+        if amount <= 0:
+            raise GuestError("no rewards accrued")
+        ctx.accounts_db.transfer(self.treasury, ctx.payer, amount)
+        ctx.emit("RewardsClaimed", validator=public_key, amount=amount)
+
+    def block_at(self, height: int) -> GuestBlock:
+        if not 0 <= height < len(self.blocks):
+            raise UnknownBlockError(f"no guest block at height {height}")
+        return self.blocks[height]
+
+    # ------------------------------------------------------------------
+    # Staking (§III-B)
+    # ------------------------------------------------------------------
+
+    def _op_stake(self, ctx: InvokeContext, reader: Reader) -> None:
+        public_key = PublicKey(reader.read(32))
+        lamports = reader.read_varint()
+        reader.expect_end()
+        ctx.transfer(ctx.payer, self.treasury, lamports)
+        self.staking.bond(public_key, lamports)
+
+    def _op_unstake(self, ctx: InvokeContext, reader: Reader) -> None:
+        public_key = PublicKey(reader.read(32))
+        lamports = reader.read_varint()
+        reader.expect_end()
+        release = self.staking.request_unbond(public_key, lamports, ctx.unix_time)
+        ctx.emit("UnbondScheduled", validator=public_key, release_time=release)
+
+    def _op_withdraw(self, ctx: InvokeContext, reader: Reader) -> None:
+        public_key = PublicKey(reader.read(32))
+        reader.expect_end()
+        amount = self.staking.withdraw(public_key, ctx.unix_time)
+        if amount == 0:
+            raise GuestError("nothing withdrawable yet (unbonding hold)")
+        ctx.accounts_db.transfer(self.treasury, ctx.payer, amount)
+
+    # ------------------------------------------------------------------
+    # Chunked uploads (the §IV workaround machinery)
+    # ------------------------------------------------------------------
+
+    def _op_chunk(self, ctx: InvokeContext, reader: Reader) -> None:
+        buffer_id = reader.read_varint()
+        index = reader.read_varint()
+        total = reader.read_varint()
+        data = reader.read_bytes()
+        reader.expect_end()
+        if total == 0 or index >= total:
+            raise ProgramError(f"bad chunk index {index}/{total}")
+        key = (ctx.payer, buffer_id)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = _Buffer(owner=ctx.payer, total_chunks=total)
+            self._buffers[key] = buffer
+        if buffer.total_chunks != total:
+            raise ProgramError("chunk total mismatch across transactions")
+        buffer.chunks[index] = data
+        ctx.meter.charge_write(len(data))
+
+    def _op_lc_sig_batch(self, ctx: InvokeContext, reader: Reader) -> None:
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._buffer(ctx.payer, buffer_id)
+        if not ctx.verified_signatures:
+            raise ProgramError("no runtime-verified signatures on this transaction")
+        buffer.verified_signers.extend(ctx.verified_signatures)
+
+    def _buffer(self, owner: Address, buffer_id: int) -> _Buffer:
+        buffer = self._buffers.get((owner, buffer_id))
+        if buffer is None:
+            raise ProgramError(f"unknown buffer {buffer_id}")
+        return buffer
+
+    def _consume_buffer(self, owner: Address, buffer_id: int) -> _Buffer:
+        buffer = self._buffer(owner, buffer_id)
+        del self._buffers[(owner, buffer_id)]
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Counterparty light-client update (LC_FINALIZE)
+    # ------------------------------------------------------------------
+
+    def _op_lc_finalize(self, ctx: InvokeContext, reader: Reader) -> None:
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        limit = self.config.lc_min_update_interval
+        if limit is not None and self._last_lc_update_time is not None:
+            elapsed = ctx.unix_time - self._last_lc_update_time
+            if elapsed < limit:
+                raise GuestError(
+                    f"light-client rate limit: {elapsed:.0f} s since the "
+                    f"last update, minimum is {limit:.0f} s (the §VI-C "
+                    "damage-limitation measure)"
+                )
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        staged = buffer.assembled()
+        ctx.meter.charge_hash(len(staged))
+
+        cursor = Reader(staged)
+        header_len = int.from_bytes(cursor.read(4), "big")
+        header = CometHeader.read_from(Reader(cursor.read(header_len)))
+        valset_len = int.from_bytes(cursor.read(4), "big")
+        valset: Optional[ValidatorSet] = None
+        if valset_len:
+            valset = ValidatorSet.read_from(Reader(cursor.read(valset_len)))
+        cursor.expect_end()
+
+        client = self.counterparty_client
+        if valset is None:
+            valset = client._known_valsets.get(header.validators_hash)
+            if valset is None:
+                raise ProgramError("validator set neither staged nor known")
+
+        message = header.sign_bytes()
+        signers = {
+            public_key
+            for public_key, signed in buffer.verified_signers
+            if signed == message
+        }
+        client.apply_verified(header, signers, valset)
+        self._last_lc_update_time = ctx.unix_time
+        ctx.emit("CounterpartyClientUpdated", height=header.height)
+
+    def known_valset_hashes(self) -> frozenset[bytes]:
+        """Hashes of the validator sets the light client already stores
+        (the relayer queries this to skip redundant uploads)."""
+        return frozenset(bytes(h) for h in self.counterparty_client._known_valsets)
+
+    # ------------------------------------------------------------------
+    # Alg. 1: ReceivePacket (+ ack/timeout processing)
+    # ------------------------------------------------------------------
+
+    def _op_recv_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+        packet = Packet.from_bytes(msg.packet_bytes)
+        proof = MembershipProof.from_bytes(msg.proof_bytes)
+        ctx.meter.charge_hash(len(msg.proof_bytes))
+        ctx.meter.charge_trie_nodes(2 * len(proof.steps) + 8)
+        ack = self.ibc.recv_packet(packet, proof, msg.proof_height,
+                                   local_time=ctx.unix_time)
+        ctx.emit("PacketReceived", sequence=packet.sequence,
+                 channel=str(packet.destination_channel),
+                 ack_success=ack.success, packet=packet,
+                 ack_bytes=ack.to_bytes())
+
+    def _op_ack_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+        packet = Packet.from_bytes(msg.packet_bytes)
+        ack = Acknowledgement.from_bytes(msg.ack_bytes)
+        proof = MembershipProof.from_bytes(msg.proof_bytes)
+        ctx.meter.charge_hash(len(msg.proof_bytes))
+        self.ibc.acknowledge_packet(packet, ack, proof, msg.proof_height)
+        ctx.emit("PacketAcknowledged", sequence=packet.sequence,
+                 channel=str(packet.source_channel))
+
+    def _op_timeout_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+        packet = Packet.from_bytes(msg.packet_bytes)
+        proof = NonMembershipProof.from_bytes(msg.proof_bytes)
+        ctx.meter.charge_hash(len(msg.proof_bytes))
+        self.ibc.timeout_packet(packet, proof, msg.proof_height)
+        ctx.emit("PacketTimedOut", sequence=packet.sequence,
+                 channel=str(packet.source_channel))
+
+    def _op_confirm_ack(self, ctx: InvokeContext, reader: Reader) -> None:
+        port = PortId(reader.read_bytes().decode())
+        channel = ChannelId(reader.read_bytes().decode())
+        sequence = reader.read_varint()
+        reader.expect_end()
+        self.ibc.confirm_ack(port, channel, sequence)
+
+    # ------------------------------------------------------------------
+    # Self-destruction (§VI-A)
+    # ------------------------------------------------------------------
+
+    def _op_self_destruct(self, ctx: InvokeContext) -> None:
+        """Release every bond once the chain has been dead long enough.
+
+        §VI-A's mitigation for the last-validator bank run: if no guest
+        block was generated for the configured period, the chain is
+        considered abandoned and validators recover their stake without
+        needing a live quorum.  Permissionless, like GenerateBlock.
+        """
+        self._require_initialized()
+        threshold = self.config.self_destruct_after_seconds
+        if threshold is None:
+            raise GuestError("self-destruction is not enabled on this deployment")
+        idle = ctx.unix_time - self.head.header.timestamp
+        if idle < threshold:
+            raise GuestError(
+                f"guest head is only {idle:.0f} s old; self-destruction "
+                f"requires {threshold:.0f} s of inactivity"
+            )
+        released = self.staking.release_all(ctx.unix_time)
+        self.halted = True
+        ctx.emit("SelfDestructed", released=released, idle_seconds=idle)
+
+    # ------------------------------------------------------------------
+    # IBC handshakes
+    # ------------------------------------------------------------------
+
+    def _op_handshake(self, ctx: InvokeContext, msg_bytes: bytes) -> None:
+        from repro.ibc.messages import apply_handshake, decode_handshake
+        msg = decode_handshake(msg_bytes)
+        ctx.meter.charge_hash(len(msg_bytes))
+        created = apply_handshake(self.ibc, msg)
+        ctx.emit("HandshakeStep", kind=type(msg).__name__, created=created)
+
+    # ------------------------------------------------------------------
+    # Fisherman evidence (§III-C)
+    # ------------------------------------------------------------------
+
+    def _op_evidence(self, ctx: InvokeContext, reader: Reader) -> None:
+        """Validate misbehaviour evidence and slash the offender.
+
+        The evidence is a signature by a validator over a block-sign
+        message ``(height, fingerprint)`` that conflicts with the chain:
+        either the height is above the head, or the fingerprint differs
+        from the real block at that height.
+        """
+        self._require_initialized()
+        kind = reader.read_varint()
+        payload = Reader(reader.read_bytes())
+        reader.expect_end()
+        public_key = PublicKey(payload.read(32))
+        height = payload.read_varint()
+        fingerprint = payload.read_bytes()
+        payload.expect_end()
+
+        message = sign_message(height, fingerprint)
+        if not ctx.is_signature_verified(public_key, message):
+            raise ProgramError("evidence signature not verified by the runtime")
+        if self.staking.stake_of(public_key) == 0:
+            raise GuestError(f"{public_key.short()} has no stake to slash")
+
+        if height >= len(self.blocks):
+            offence = "signed a block above the head"
+        else:
+            real = self.blocks[height].header.fingerprint()
+            if fingerprint == real:
+                raise GuestError("signature matches the real block; no offence")
+            offence = "signed a conflicting block"
+
+        slashed = self.staking.slash(public_key)
+        self.staking.remove(public_key)
+        # Reward the fisherman with half of the slashed stake.
+        reward = slashed // 2
+        ctx.accounts_db.transfer(self.treasury, ctx.payer, reward)
+        ctx.emit("ValidatorSlashed", validator=public_key,
+                 slashed=slashed, reward=reward, offence=offence, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Helpers, accounting, proof serving
+    # ------------------------------------------------------------------
+
+    def _validate_claim_about_guest(self, claimed_bytes: bytes) -> None:
+        """ICS-03 validate_self_client — the check the paper's footnote 2
+        notes NEAR-IBC left unimplemented.  Rejects connections whose
+        counterparty runs a bogus light client of this guest chain."""
+        from repro.ibc.self_client import SelfClientState, validate_self_client
+        claimed = SelfClientState.from_bytes(claimed_bytes)
+        validate_self_client(
+            claimed,
+            our_chain_id=self.ibc.chain_id,
+            our_height=self.head.height if self.blocks else 0,
+            known_set_hashes=frozenset(bytes(h) for h in self.epochs_by_hash),
+        )
+
+    def _require_initialized(self) -> None:
+        if not self.initialized:
+            raise GuestError("guest not initialized")
+
+    def _check_state_budget(self) -> None:
+        used = self.store.storage_bytes() + sum(
+            buffer.byte_size() for buffer in self._buffers.values()
+        )
+        if used > self.config.state_account_bytes:
+            raise ProgramError(
+                f"guest state would use {used} bytes; the account holds "
+                f"{self.config.state_account_bytes}"
+            )
+
+    def state_usage_bytes(self) -> int:
+        return self.store.storage_bytes()
+
+    def state_view(self, height: int) -> ProvableStore:
+        """Frozen store whose root is the block header's ``state_root``
+        (what a relayer proves packet commitments against)."""
+        view = self._state_views.get(height)
+        if view is None:
+            raise UnknownBlockError(f"no state view for height {height}")
+        return view
+
+    def packets_in_block(self, height: int) -> tuple[Packet, ...]:
+        return self._packets_by_height.get(height, ())

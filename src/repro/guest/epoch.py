@@ -1,0 +1,62 @@
+"""Validator epochs (§III-B).
+
+An epoch fixes the validator set and their stakes for a span of guest
+blocks.  Blocks carry their epoch id; a block is finalised when the
+signatures it has collected cover the epoch's quorum stake.  The epoch's
+canonical hash is committed into block headers so counterparty light
+clients can detect validator-set changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import Hash, hash_concat
+from repro.crypto.keys import PublicKey
+from repro.errors import GuestError
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """An immutable validator set with stakes and the quorum threshold."""
+
+    epoch_id: int
+    #: Validator public key -> staked lamports.
+    validators: dict[PublicKey, int] = field(default_factory=dict)
+    quorum_stake: int = 0
+
+    def __post_init__(self) -> None:
+        if any(stake <= 0 for stake in self.validators.values()):
+            raise GuestError("validator stakes must be positive")
+        if self.validators and not 0 < self.quorum_stake <= self.total_stake:
+            raise GuestError(
+                f"quorum {self.quorum_stake} outside (0, {self.total_stake}]"
+            )
+
+    @property
+    def total_stake(self) -> int:
+        return sum(self.validators.values())
+
+    def stake(self, validator: PublicKey) -> int:
+        return self.validators.get(validator, 0)
+
+    def is_validator(self, public_key: PublicKey) -> bool:
+        return public_key in self.validators
+
+    def signed_stake(self, signers: set[PublicKey]) -> int:
+        return sum(self.validators.get(signer, 0) for signer in signers)
+
+    def has_quorum(self, signers: set[PublicKey]) -> bool:
+        return self.signed_stake(signers) >= self.quorum_stake
+
+    def canonical_hash(self) -> Hash:
+        """Deterministic commitment to (id, members, stakes, quorum)."""
+        parts: list[bytes] = [b"epoch", self.epoch_id.to_bytes(8, "big")]
+        for public_key in sorted(self.validators, key=bytes):
+            parts.append(bytes(public_key))
+            parts.append(self.validators[public_key].to_bytes(8, "big"))
+        parts.append(self.quorum_stake.to_bytes(8, "big"))
+        return hash_concat(*parts)
+
+    def __len__(self) -> int:
+        return len(self.validators)

@@ -1,0 +1,40 @@
+"""A Solana-like host blockchain simulator.
+
+The guest blockchain's published costs and latencies are consequences of
+the host runtime's constraints (§IV): the 1232-byte transaction limit, the
+1.4 M compute-unit budget, per-signature base fees, priority fees and
+block-bundle tips, rent deposits and 400 ms slots.  This package
+implements a discrete-event host chain that enforces exactly those
+constraints, so the Guest Contract running on it inherits realistic
+costs without any hard-coded numbers.
+
+Substitution note (DESIGN.md §2): this simulator stands in for Solana
+mainnet.  It does not reimplement Solana's networking or consensus — only
+the runtime interface and economics that the paper's evaluation measures.
+"""
+
+from repro.host.accounts import Account, AccountsDb, Address
+from repro.host.chain import HostChain, HostConfig
+from repro.host.events import HostEvent
+from repro.host.fees import BaseFee, BundleFee, FeeStrategy, PriorityFee
+from repro.host.programs import InvokeContext, Program
+from repro.host.transaction import Instruction, SigVerify, Transaction, TxReceipt
+
+__all__ = [
+    "Account",
+    "AccountsDb",
+    "Address",
+    "BaseFee",
+    "BundleFee",
+    "FeeStrategy",
+    "HostChain",
+    "HostConfig",
+    "HostEvent",
+    "Instruction",
+    "InvokeContext",
+    "PriorityFee",
+    "Program",
+    "SigVerify",
+    "Transaction",
+    "TxReceipt",
+]

@@ -1,0 +1,422 @@
+"""The host chain simulator: slots, mempool, execution, events.
+
+One :class:`HostChain` actor runs on the simulation kernel, producing a
+block every 400 ms (§IV).  Transactions are submitted to a mempool; how
+long they wait there before a block picks them up is decided by their fee
+strategy and the chain's current congestion level — the mechanism behind
+the latency distributions of Fig. 2 and Fig. 4 and the fee clusters of
+Fig. 3.
+
+Execution is transactional: the runtime verifies precompile signatures,
+charges fees, snapshots the touched accounts, runs each instruction
+through its program, and rolls everything back (except the fee) if any
+instruction fails.  Bundles execute atomically within one block, matching
+the Jito semantics the deployment used (§V-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.keys import SignatureScheme
+from repro.errors import HostError, ProgramError, ReproError
+from repro.host.accounts import Account, AccountsDb, Address
+from repro.host.compute import ComputeMeter
+from repro.host.events import HostEvent
+from repro.host.programs import InvokeContext, Program
+from repro.host.transaction import Transaction, TxReceipt
+from repro.sim.kernel import Simulation
+from repro.units import HOST_SLOT_SECONDS, MAX_COMPUTE_UNITS, MAX_TRANSACTION_BYTES
+
+_bundle_ids = itertools.count(1)
+
+
+@dataclass
+class HostConfig:
+    """Tunables of the host chain model."""
+
+    slot_seconds: float = HOST_SLOT_SECONDS
+    #: Network delay from a client to the chain's ingress, seconds.
+    submit_delay_mean: float = 0.15
+    #: Delay before off-chain observers see an emitted event (RPC poll).
+    observe_delay_mean: float = 0.35
+    #: Baseline mempool congestion in [0, 1].
+    base_congestion: float = 0.30
+    #: Amplitude of the diurnal congestion swing.
+    diurnal_congestion: float = 0.15
+    #: Probability that any given hour is a congestion spike...
+    spike_probability: float = 0.04
+    #: ...and the congestion level during a spike.
+    spike_congestion: float = 0.92
+    #: Maximum transactions per block (generous; we never saturate it).
+    block_tx_limit: int = 2_048
+    #: Serialized transaction size cap.  1232 bytes on Solana (§IV);
+    #: other hosts differ (see repro.host.profiles).
+    max_transaction_bytes: int = MAX_TRANSACTION_BYTES
+    #: Per-transaction compute cap (1.4 M CU on Solana).
+    max_compute_units: int = MAX_COMPUTE_UNITS
+    #: Keep only the most recent N blocks in memory (None = keep all).
+    #: Long simulated deployments set this; nothing in the system reads
+    #: old host blocks (the guest keeps its own snapshots).
+    retain_blocks: Optional[int] = None
+
+
+@dataclass
+class HostBlock:
+    """A produced block: receipts plus the events its programs emitted."""
+
+    slot: int
+    time: float
+    receipts: list[TxReceipt] = field(default_factory=list)
+    events: list[HostEvent] = field(default_factory=list)
+
+
+@dataclass
+class _PendingTx:
+    transaction: Transaction
+    ready_time: float
+    on_result: Optional[Callable[[TxReceipt], None]]
+    bundle_id: Optional[int] = None
+    bundle_tip: int = 0
+    bundle_peers: Optional[list["_PendingTx"]] = None
+
+
+class HostChain:
+    """The Solana-like host blockchain actor."""
+
+    def __init__(self, sim: Simulation, scheme: SignatureScheme, config: Optional[HostConfig] = None) -> None:
+        self.sim = sim
+        self.scheme = scheme
+        self.config = config or HostConfig()
+        self.accounts = AccountsDb()
+        self.slot = 0
+        self.blocks: list[HostBlock] = []
+        self._programs: dict[Address, Program] = {}
+        self._mempool: list[_PendingTx] = []
+        self._subscribers: dict[str, list[Callable[[HostEvent], None]]] = {}
+        self._rng = sim.rng.fork("host-chain")
+        self._spike_cache: dict[int, bool] = {}
+        self._slot_handle = sim.schedule(self.config.slot_seconds, self._produce_slot)
+
+    # ------------------------------------------------------------------
+    # Deployment and funding
+    # ------------------------------------------------------------------
+
+    def deploy(self, program: Program) -> None:
+        if program.program_id in self._programs:
+            raise HostError(f"program {program.program_id.short()} already deployed")
+        self._programs[program.program_id] = program
+
+    def airdrop(self, address: Address, lamports: int) -> None:
+        """Test/bootstrap faucet."""
+        self.accounts.credit(address, lamports)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        transaction: Transaction,
+        on_result: Optional[Callable[[TxReceipt], None]] = None,
+    ) -> None:
+        """Send a transaction toward the mempool.
+
+        Size violations raise immediately (the RPC node rejects oversized
+        transactions before broadcast), so callers must chunk payloads.
+        """
+        transaction.check_size(self.config.max_transaction_bytes)
+        arrival = self._submit_latency()
+        self.sim.schedule(arrival, self._arrive, transaction, on_result, None, 0, None)
+
+    def submit_bundle(
+        self,
+        transactions: list[Transaction],
+        tip_lamports: int,
+        on_result: Optional[Callable[[list[TxReceipt]], None]] = None,
+    ) -> None:
+        """Send an atomic bundle (Jito semantics): every transaction lands
+        in the same block or none do; the tip is paid once, by the first
+        transaction's payer."""
+        if not transactions:
+            raise HostError("empty bundle")
+        for transaction in transactions:
+            transaction.check_size(self.config.max_transaction_bytes)
+        bundle_id = next(_bundle_ids)
+        receipts: list[TxReceipt] = []
+        remaining = len(transactions)
+
+        def collect(receipt: TxReceipt) -> None:
+            nonlocal remaining
+            receipts.append(receipt)
+            remaining -= 1
+            if remaining == 0 and on_result is not None:
+                on_result(sorted(receipts, key=lambda r: r.tx_id))
+
+        arrival = self._submit_latency()
+        peers: list[_PendingTx] = []
+        for index, transaction in enumerate(transactions):
+            tip = tip_lamports if index == 0 else 0
+            self.sim.schedule(
+                arrival, self._arrive, transaction, collect, bundle_id, tip, peers,
+            )
+
+    def _submit_latency(self) -> float:
+        return self._rng.expovariate(1.0 / self.config.submit_delay_mean)
+
+    def _arrive(
+        self,
+        transaction: Transaction,
+        on_result: Optional[Callable[[TxReceipt], None]],
+        bundle_id: Optional[int],
+        bundle_tip: int,
+        bundle_peers: Optional[list[_PendingTx]],
+    ) -> None:
+        congestion = self.congestion_at(self.sim.now)
+        delay = transaction.fee_strategy.scheduling_delay(self._rng, congestion)
+        pending = _PendingTx(
+            transaction=transaction,
+            ready_time=self.sim.now + delay,
+            on_result=on_result,
+            bundle_id=bundle_id,
+            bundle_tip=bundle_tip,
+            bundle_peers=bundle_peers,
+        )
+        if bundle_peers is not None:
+            bundle_peers.append(pending)
+            # A bundle becomes ready when its slowest member is ready; keep
+            # all members aligned on the max so they land together.
+            latest = max(peer.ready_time for peer in bundle_peers)
+            for peer in bundle_peers:
+                peer.ready_time = latest
+        self._mempool.append(pending)
+
+    # ------------------------------------------------------------------
+    # Congestion model
+    # ------------------------------------------------------------------
+
+    def congestion_at(self, time: float) -> float:
+        """Mempool congestion level in [0, 1] at a simulated time.
+
+        Baseline + diurnal sinusoid + occasional hour-long spikes (drawn
+        deterministically per hour from the seeded RNG).
+        """
+        hour = int(time // 3600)
+        spike = self._spike_cache.get(hour)
+        if spike is None:
+            spike = self._rng.bernoulli(self.config.spike_probability)
+            self._spike_cache[hour] = spike
+        if spike:
+            return self.config.spike_congestion
+        level = self.config.base_congestion + self.config.diurnal_congestion * math.sin(
+            2.0 * math.pi * (time % 86_400.0) / 86_400.0
+        )
+        return min(1.0, max(0.0, level))
+
+    # ------------------------------------------------------------------
+    # Block production
+    # ------------------------------------------------------------------
+
+    def _produce_slot(self) -> None:
+        self.slot += 1
+        block = HostBlock(slot=self.slot, time=self.sim.now)
+
+        ready = [p for p in self._mempool if p.ready_time <= self.sim.now]
+        ready.sort(key=lambda p: (p.ready_time, p.transaction.tx_id))
+        ready = ready[: self.config.block_tx_limit]
+        taken = set(map(id, ready))
+        self._mempool = [p for p in self._mempool if id(p) not in taken]
+
+        # Group bundle members so they execute consecutively/atomically.
+        singles = [p for p in ready if p.bundle_id is None]
+        bundles: dict[int, list[_PendingTx]] = {}
+        for pending in ready:
+            if pending.bundle_id is not None:
+                bundles.setdefault(pending.bundle_id, []).append(pending)
+
+        for pending in singles:
+            receipt = self._execute(pending, block)
+            self._finish(pending, receipt, block)
+        for members in bundles.values():
+            self._execute_bundle(members, block)
+
+        self.blocks.append(block)
+        retain = self.config.retain_blocks
+        if retain is not None and len(self.blocks) > 2 * retain:
+            del self.blocks[: len(self.blocks) - retain]
+        for event in block.events:
+            self._dispatch(event)
+        self._slot_handle = self.sim.schedule(self.config.slot_seconds, self._produce_slot)
+
+    def _execute_bundle(self, members: list[_PendingTx], block: HostBlock) -> None:
+        """Run a bundle atomically: snapshot across all members, roll the
+        whole group back if any member fails."""
+        snapshots = self._snapshot(
+            {addr for m in members for addr in m.transaction.unique_accounts()}
+        )
+        burned_checkpoint = self.accounts.burned_fees
+        events_checkpoint = len(block.events)
+        receipts: list[TxReceipt] = []
+        failed = False
+        for pending in members:
+            receipt = self._execute(pending, block)
+            receipts.append(receipt)
+            if not receipt.success:
+                failed = True
+                break
+        if failed:
+            first_error = next(
+                (r.error for r in receipts if not r.success and r.error), "unknown",
+            )
+            self._restore(snapshots)
+            self.accounts.burned_fees = burned_checkpoint
+            del block.events[events_checkpoint:]
+            # All members fail together; fees for attempted ones are kept
+            # (charged inside _execute before the rollback snapshot is
+            # restored), so re-charge them explicitly after restore.
+            receipts = []
+            for pending in members:
+                transaction = pending.transaction
+                fee = self._fee_for(pending)
+                fee_paid = 0
+                try:
+                    self.accounts.burn_fee(transaction.payer, fee)
+                    fee_paid = fee
+                except ReproError:
+                    pass
+                receipts.append(TxReceipt(
+                    tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+                    success=False, fee_paid=fee_paid, compute_consumed=0,
+                    error=f"bundle failed atomically: {first_error}",
+                    bundle_id=pending.bundle_id,
+                ))
+        for pending, receipt in zip(members, receipts):
+            self._finish(pending, receipt, block)
+
+    def _fee_for(self, pending: _PendingTx) -> int:
+        transaction = pending.transaction
+        budget = transaction.compute_budget or self.config.max_compute_units
+        fee = transaction.fee_strategy.fee(
+            transaction.signature_count, transaction.verify_count, budget
+        )
+        return fee + pending.bundle_tip
+
+    def _execute(self, pending: _PendingTx, block: HostBlock) -> TxReceipt:
+        transaction = pending.transaction
+        fee = self._fee_for(pending)
+        try:
+            self.accounts.burn_fee(transaction.payer, fee)
+        except ReproError as exc:
+            return TxReceipt(
+                tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+                success=False, fee_paid=0, compute_consumed=0,
+                error=f"fee payment failed: {exc}", bundle_id=pending.bundle_id,
+            )
+
+        # Runtime-level signature verification (the Ed25519 precompile).
+        verified: list[tuple] = []
+        for entry in transaction.sig_verifies:
+            if not self.scheme.verify(entry.public_key, entry.message, entry.signature):
+                return TxReceipt(
+                    tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+                    success=False, fee_paid=fee, compute_consumed=0,
+                    error="precompile signature verification failed",
+                    bundle_id=pending.bundle_id,
+                )
+            verified.append((entry.public_key, entry.message))
+
+        meter = ComputeMeter(
+            min(transaction.compute_budget or self.config.max_compute_units,
+                self.config.max_compute_units),
+            hard_cap=self.config.max_compute_units,
+        )
+        snapshots = self._snapshot(transaction.unique_accounts())
+        signers = frozenset((transaction.payer,) + transaction.extra_signers)
+        events: list[HostEvent] = []
+        try:
+            for instruction in transaction.instructions:
+                program = self._programs.get(instruction.program_id)
+                if program is None:
+                    raise ProgramError(
+                        f"no program at {instruction.program_id.short()}"
+                    )
+                meter.charge(1_000)  # invocation overhead
+                ctx = InvokeContext(
+                    chain=self,
+                    accounts_db=self.accounts,
+                    instruction_accounts=instruction.accounts,
+                    payer=transaction.payer,
+                    signers=signers,
+                    meter=meter,
+                    slot=self.slot,
+                    unix_time=self.sim.now,
+                    verified_signatures=tuple(verified),
+                )
+                program.execute(ctx, instruction.data)
+                events.extend(ctx.emitted_events)
+        except (ReproError, ValueError) as exc:
+            # ValueError covers malformed instruction data (truncated
+            # buffers, bad enum tags): the runtime aborts the transaction
+            # exactly like a program error.
+            self._restore(snapshots)
+            return TxReceipt(
+                tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+                success=False, fee_paid=fee, compute_consumed=meter.consumed,
+                error=str(exc), bundle_id=pending.bundle_id,
+            )
+
+        block.events.extend(events)
+        return TxReceipt(
+            tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+            success=True, fee_paid=fee, compute_consumed=meter.consumed,
+            bundle_id=pending.bundle_id,
+        )
+
+    def _finish(self, pending: _PendingTx, receipt: TxReceipt, block: HostBlock) -> None:
+        block.receipts.append(receipt)
+        if pending.on_result is not None:
+            delay = self._rng.expovariate(1.0 / self.config.observe_delay_mean)
+            self.sim.schedule(delay, pending.on_result, receipt)
+
+    def _snapshot(self, addresses: set[Address]) -> dict[Address, Optional[tuple]]:
+        snaps: dict[Address, Optional[tuple]] = {}
+        for address in addresses:
+            account = self.accounts.get(address)
+            snaps[address] = account.snapshot() if account is not None else None
+        return snaps
+
+    def _restore(self, snapshots: dict[Address, Optional[tuple]]) -> None:
+        for address, snap in snapshots.items():
+            account = self.accounts.get(address)
+            if snap is None:
+                if account is not None:
+                    account.restore((0, b"", None))
+            else:
+                self.accounts.account(address).restore(snap)
+
+    # ------------------------------------------------------------------
+    # Event subscription
+    # ------------------------------------------------------------------
+
+    def subscribe(self, event_name: str, callback: Callable[[HostEvent], None]) -> None:
+        """Register an off-chain observer for an event name.  Delivery is
+        delayed by the observation latency (RPC polling)."""
+        self._subscribers.setdefault(event_name, []).append(callback)
+
+    def _dispatch(self, event: HostEvent) -> None:
+        for callback in self._subscribers.get(event.name, ()):
+            delay = self._rng.expovariate(1.0 / self.config.observe_delay_mean)
+            self.sim.schedule(delay, callback, event)
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and experiments
+    # ------------------------------------------------------------------
+
+    def mempool_size(self) -> int:
+        return len(self._mempool)
+
+    def total_fees_burned(self) -> int:
+        return self.accounts.burned_fees

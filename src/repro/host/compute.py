@@ -1,0 +1,64 @@
+"""Compute-unit metering (the 1.4 M CU budget of §IV).
+
+Programs charge the meter as they work; exhausting it aborts the
+transaction.  The unit prices are rough Solana-calibrated constants —
+what matters to the reproduction is that heavyweight operations (hashing
+large buffers, signature verification, trie traversals) cannot all fit
+into one transaction, which is what forces the chunked light-client
+updates measured in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ComputeBudgetExceededError
+from repro.units import MAX_COMPUTE_UNITS
+
+#: Baseline cost of invoking a program at all.
+INVOKE_BASE_UNITS = 1_000
+#: Cost per 32-byte block of SHA-256 input.
+SHA256_UNITS_PER_BLOCK = 100
+#: One in-runtime signature verification (via the verify precompile).
+SIGNATURE_VERIFY_UNITS = 25_000
+#: Touching (deserialising) one trie node.
+TRIE_NODE_UNITS = 300
+#: Writing one byte of account data.
+WRITE_BYTE_UNITS = 2
+
+
+class ComputeMeter:
+    """Per-transaction compute budget."""
+
+    def __init__(self, budget: int = MAX_COMPUTE_UNITS,
+                 hard_cap: int = MAX_COMPUTE_UNITS) -> None:
+        if budget > hard_cap:
+            raise ComputeBudgetExceededError(
+                f"requested budget {budget} exceeds the {hard_cap} CU cap"
+            )
+        self.budget = budget
+        self.consumed = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self.consumed
+
+    def charge(self, units: int) -> None:
+        if units < 0:
+            raise ValueError("cannot charge negative compute units")
+        self.consumed += units
+        if self.consumed > self.budget:
+            raise ComputeBudgetExceededError(
+                f"consumed {self.consumed} CU of a {self.budget} CU budget"
+            )
+
+    def charge_hash(self, input_bytes: int) -> None:
+        blocks = (input_bytes + 31) // 32
+        self.charge(SHA256_UNITS_PER_BLOCK * max(1, blocks))
+
+    def charge_signature_verify(self) -> None:
+        self.charge(SIGNATURE_VERIFY_UNITS)
+
+    def charge_trie_nodes(self, count: int) -> None:
+        self.charge(TRIE_NODE_UNITS * count)
+
+    def charge_write(self, byte_count: int) -> None:
+        self.charge(WRITE_BYTE_UNITS * byte_count)

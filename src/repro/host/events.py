@@ -1,0 +1,28 @@
+"""Host events: the log records programs emit and off-chain actors watch.
+
+Validators listen for ``NewBlock``, relayers for ``FinalisedBlock``
+(Alg. 2).  The chain delivers events to subscribers with a small
+observation delay standing in for RPC polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_event_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class HostEvent:
+    """An event emitted by a program during transaction execution."""
+
+    name: str
+    payload: dict[str, Any]
+    slot: int
+    time: float
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def __repr__(self) -> str:
+        return f"HostEvent({self.name}, slot={self.slot})"

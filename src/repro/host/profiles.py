@@ -1,0 +1,70 @@
+"""Host-chain profiles: the §VI-D portability story.
+
+The guest blockchain is designed to run on any chain with smart
+contracts and on-chain storage.  §VI-D sketches how it would map onto
+NEAR (has light clients and state proofs, lacks block-hash
+introspection) and TRON (lacks state proofs entirely).  These profiles
+parameterise the host simulator with each platform's runtime envelope so
+the *same* Guest Contract can be deployed and exercised on all of them —
+the "powerful abstraction" argument of §IV made executable.
+
+The numbers are order-of-magnitude platform characteristics (block
+cadence, transaction size ceiling, computation budget in CU-equivalent
+units), not exact protocol constants: what matters to the guest is how
+much state/computation fits one transaction and how fast blocks come.
+"""
+
+from __future__ import annotations
+
+from repro.host.chain import HostConfig
+from repro.units import MAX_COMPUTE_UNITS, MAX_TRANSACTION_BYTES
+
+
+def solana_profile() -> HostConfig:
+    """The paper's deployment target (§IV): 400 ms slots, 1232-byte
+    transactions, 1.4 M compute units."""
+    return HostConfig(
+        slot_seconds=0.4,
+        max_transaction_bytes=MAX_TRANSACTION_BYTES,
+        max_compute_units=MAX_COMPUTE_UNITS,
+    )
+
+
+def near_like_profile() -> HostConfig:
+    """A NEAR-shaped host: ~1 s blocks and a far roomier transaction
+    envelope (NEAR actions take large arguments), but still bounded gas.
+
+    §VI-D: NEAR has light clients and state proofs but no host function
+    for past block hashes — the guest supplies its own block history, so
+    nothing in the Guest Contract needs to change.
+    """
+    return HostConfig(
+        slot_seconds=1.1,
+        max_transaction_bytes=64 * 1024,
+        max_compute_units=12_000_000,
+        # NEAR's fee market is flatter; congestion bites less.
+        base_congestion=0.15,
+        diurnal_congestion=0.08,
+    )
+
+
+def tron_like_profile() -> HostConfig:
+    """A TRON-shaped host: 3 s blocks, mid-sized transactions, an
+    energy budget comparable to a few million CU.
+
+    §VI-D: TRON lacks state proofs — precisely what the guest's sealable
+    trie plus PoS attestation adds on top.
+    """
+    return HostConfig(
+        slot_seconds=3.0,
+        max_transaction_bytes=8 * 1024,
+        max_compute_units=4_000_000,
+        base_congestion=0.25,
+    )
+
+
+HOST_PROFILES = {
+    "solana": solana_profile,
+    "near-like": near_like_profile,
+    "tron-like": tron_like_profile,
+}

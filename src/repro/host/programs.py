@@ -1,0 +1,82 @@
+"""The program (smart contract) runtime interface.
+
+A :class:`Program` is invoked with an :class:`InvokeContext` giving it
+exactly what the Solana runtime gives a contract: the instruction's
+accounts, a compute meter, the clock, the pre-verified signatures carried
+by the transaction, and the ability to move lamports and emit events.
+Anything else — in particular global mutable state and unmetered
+computation — is unavailable, mirroring the constraints §IV works around.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.crypto.keys import PublicKey
+from repro.errors import MissingSignerError, ProgramError
+from repro.host.accounts import Account, AccountsDb, Address
+from repro.host.compute import ComputeMeter
+from repro.host.events import HostEvent
+
+if TYPE_CHECKING:
+    from repro.host.chain import HostChain
+
+
+@dataclass
+class InvokeContext:
+    """Everything a program sees during one instruction."""
+
+    chain: "HostChain"
+    accounts_db: AccountsDb
+    instruction_accounts: tuple[Address, ...]
+    payer: Address
+    signers: frozenset[Address]
+    meter: ComputeMeter
+    slot: int
+    unix_time: float
+    #: (public_key, message) pairs whose signatures the runtime verified
+    #: before execution (the Ed25519-precompile pattern).
+    verified_signatures: tuple[tuple[PublicKey, bytes], ...]
+    emitted_events: list[HostEvent] = field(default_factory=list)
+
+    def account(self, address: Address) -> Account:
+        if address not in self.instruction_accounts and address != self.payer:
+            raise ProgramError(
+                f"account {address.short()} was not passed to the instruction"
+            )
+        return self.accounts_db.account(address)
+
+    def require_signer(self, address: Address) -> None:
+        if address not in self.signers:
+            raise MissingSignerError(f"{address.short()} must sign this instruction")
+
+    def transfer(self, source: Address, destination: Address, lamports: int) -> None:
+        """Move lamports; the source must have signed the transaction."""
+        self.require_signer(source)
+        self.accounts_db.transfer(source, destination, lamports)
+
+    def emit(self, name: str, **payload: Any) -> None:
+        self.emitted_events.append(
+            HostEvent(name=name, payload=payload, slot=self.slot, time=self.unix_time)
+        )
+
+    def is_signature_verified(self, public_key: PublicKey, message: bytes) -> bool:
+        """Did the runtime verify a signature by ``public_key`` over
+        ``message`` in this transaction?"""
+        return (public_key, message) in self.verified_signatures
+
+
+class Program(abc.ABC):
+    """A smart contract deployed on the host chain."""
+
+    @property
+    @abc.abstractmethod
+    def program_id(self) -> Address:
+        """The address this program is deployed at."""
+
+    @abc.abstractmethod
+    def execute(self, ctx: InvokeContext, data: bytes) -> None:
+        """Process one instruction.  Raise :class:`ProgramError` (or any
+        :class:`~repro.errors.HostError`) to abort the transaction."""

@@ -1,0 +1,35 @@
+"""The Inter-Blockchain Communication protocol core.
+
+A from-scratch implementation of the IBC elements the paper's §II lists:
+light clients (ICS-02 interface), connection handshakes (ICS-03),
+channels, packets, acknowledgements and timeouts (ICS-04), commitment
+paths (ICS-24) and the fungible-token-transfer application (ICS-20).
+
+One :class:`~repro.ibc.host.IbcHost` instance embeds in each chain: the
+counterparty runs it natively; the Guest Contract runs it inside the host
+program, over the sealable trie — that is the whole point of the paper.
+"""
+
+from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.ibc.client import LightClient
+from repro.ibc.connection import ConnectionEnd, ConnectionState
+from repro.ibc.channel import ChannelEnd, ChannelOrder, ChannelState
+from repro.ibc.host import IbcApp, IbcHost
+
+__all__ = [
+    "Acknowledgement",
+    "ChannelEnd",
+    "ChannelId",
+    "ChannelOrder",
+    "ChannelState",
+    "ClientId",
+    "ConnectionEnd",
+    "ConnectionId",
+    "ConnectionState",
+    "IbcApp",
+    "IbcHost",
+    "LightClient",
+    "Packet",
+    "PortId",
+]

@@ -1,0 +1,5 @@
+"""IBC applications (the port-bound modules packets are delivered to)."""
+
+from repro.ibc.apps.transfer import Bank, FungibleTokenPacketData, TransferApp
+
+__all__ = ["Bank", "FungibleTokenPacketData", "TransferApp"]

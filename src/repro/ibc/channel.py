@@ -1,0 +1,71 @@
+"""Channel ends (ICS-04).
+
+A channel multiplexes an application-level packet stream over a
+connection; it is identified by a ⟨port, channel⟩ pair on each side
+(§III-A: "Each stream, called a channel, is identified by a
+⟨name, port⟩ pair").  Channels open through the same four-step proof-
+checked handshake connections use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.encoding import Reader, encode_str, encode_varint
+from repro.ibc.identifiers import ChannelId, ConnectionId, PortId
+
+
+class ChannelState(enum.IntEnum):
+    INIT = 1
+    TRYOPEN = 2
+    OPEN = 3
+    CLOSED = 4
+
+
+class ChannelOrder(enum.IntEnum):
+    UNORDERED = 1
+    ORDERED = 2
+
+
+@dataclass(frozen=True)
+class ChannelEnd:
+    """One side of a channel, as stored in the provable state."""
+
+    state: ChannelState
+    order: ChannelOrder
+    connection_id: ConnectionId
+    counterparty_port_id: PortId
+    counterparty_channel_id: ChannelId | None
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_varint(int(self.state))
+        out += encode_varint(int(self.order))
+        out += encode_str(self.connection_id)
+        out += encode_str(self.counterparty_port_id)
+        out += encode_str(self.counterparty_channel_id or "")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChannelEnd":
+        reader = Reader(data)
+        state = ChannelState(reader.read_varint())
+        order = ChannelOrder(reader.read_varint())
+        connection_id = ConnectionId(reader.read_str())
+        counterparty_port_id = PortId(reader.read_str())
+        raw = reader.read_str()
+        reader.expect_end()
+        return cls(
+            state=state,
+            order=order,
+            connection_id=connection_id,
+            counterparty_port_id=counterparty_port_id,
+            counterparty_channel_id=ChannelId(raw) if raw else None,
+        )
+
+    def with_state(self, state: ChannelState) -> "ChannelEnd":
+        return replace(self, state=state)
+
+    def with_counterparty(self, channel_id: ChannelId) -> "ChannelEnd":
+        return replace(self, counterparty_channel_id=channel_id)

@@ -1,0 +1,62 @@
+"""Connection ends and the ICS-03 handshake state machine.
+
+A connection binds a local light client to a counterparty chain's light
+client of *us*.  The four-step handshake (init → try → ack → confirm)
+has each side prove to the other — via membership proofs against light-
+client-verified roots — that the counterparty really stored the expected
+connection state.  This is the "handshake that verifies the identity and
+status of each blockchain" of §II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.encoding import Reader, encode_str, encode_varint
+from repro.ibc.identifiers import ClientId, ConnectionId
+
+
+class ConnectionState(enum.IntEnum):
+    INIT = 1
+    TRYOPEN = 2
+    OPEN = 3
+
+
+@dataclass(frozen=True)
+class ConnectionEnd:
+    """One side of a connection, as stored in the provable state."""
+
+    state: ConnectionState
+    client_id: ClientId
+    counterparty_client_id: ClientId
+    counterparty_connection_id: ConnectionId | None
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_varint(int(self.state))
+        out += encode_str(self.client_id)
+        out += encode_str(self.counterparty_client_id)
+        out += encode_str(self.counterparty_connection_id or "")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ConnectionEnd":
+        reader = Reader(data)
+        state = ConnectionState(reader.read_varint())
+        client_id = ClientId(reader.read_str())
+        counterparty_client_id = ClientId(reader.read_str())
+        raw = reader.read_str()
+        reader.expect_end()
+        return cls(
+            state=state,
+            client_id=client_id,
+            counterparty_client_id=counterparty_client_id,
+            counterparty_connection_id=ConnectionId(raw) if raw else None,
+        )
+
+    def with_state(self, state: ConnectionState) -> "ConnectionEnd":
+        return replace(self, state=state)
+
+    def with_counterparty(self, connection_id: ConnectionId) -> "ConnectionEnd":
+        return replace(self, counterparty_connection_id=connection_id)

@@ -1,0 +1,61 @@
+"""Typed IBC identifiers (clients, connections, channels, ports).
+
+Thin ``str`` wrappers with ICS-24 validity checks: identifiers are
+lower-case alphanumerics plus ``-``/``_``, length-bounded, and each kind
+carries its conventional prefix (``client-0``, ``connection-3``,
+``channel-1``); ports are free-form names like ``transfer``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IbcError
+
+_IDENT_RE = re.compile(r"^[a-z0-9._\-]{2,64}$")
+
+
+def _validate(value: str, kind: str) -> str:
+    if not _IDENT_RE.match(value):
+        raise IbcError(f"invalid {kind} identifier {value!r}")
+    return value
+
+
+class ClientId(str):
+    """Identifier of a light client hosted on this chain."""
+
+    def __new__(cls, value: str) -> "ClientId":
+        return super().__new__(cls, _validate(value, "client"))
+
+    @classmethod
+    def sequence(cls, n: int) -> "ClientId":
+        return cls(f"client-{n}")
+
+
+class ConnectionId(str):
+    """Identifier of a connection end hosted on this chain."""
+
+    def __new__(cls, value: str) -> "ConnectionId":
+        return super().__new__(cls, _validate(value, "connection"))
+
+    @classmethod
+    def sequence(cls, n: int) -> "ConnectionId":
+        return cls(f"connection-{n}")
+
+
+class ChannelId(str):
+    """Identifier of a channel end hosted on this chain."""
+
+    def __new__(cls, value: str) -> "ChannelId":
+        return super().__new__(cls, _validate(value, "channel"))
+
+    @classmethod
+    def sequence(cls, n: int) -> "ChannelId":
+        return cls(f"channel-{n}")
+
+
+class PortId(str):
+    """A port name an application binds to (e.g. ``transfer``)."""
+
+    def __new__(cls, value: str) -> "PortId":
+        return super().__new__(cls, _validate(value, "port"))

@@ -1,0 +1,192 @@
+"""Wire messages for IBC handshake datagrams.
+
+Relayers drive the connection and channel handshakes by submitting these
+messages to each chain (on the guest, through the Guest Contract's
+HANDSHAKE instruction — staged through a chunk buffer when the embedded
+proof outgrows one host transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+from repro.ibc.channel import ChannelOrder
+from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
+from repro.trie.proof import MembershipProof
+
+
+@dataclass(frozen=True)
+class MsgConnOpenInit:
+    client_id: ClientId
+    counterparty_client_id: ClientId
+
+
+@dataclass(frozen=True)
+class MsgConnOpenTry:
+    client_id: ClientId
+    counterparty_client_id: ClientId
+    counterparty_connection_id: ConnectionId
+    proof: MembershipProof
+    proof_height: int
+    #: Serialized SelfClientState of *this* chain as seen by the
+    #: counterparty's client (validate_self_client input); b"" = absent.
+    client_state: bytes = b""
+
+
+@dataclass(frozen=True)
+class MsgConnOpenAck:
+    connection_id: ConnectionId
+    counterparty_connection_id: ConnectionId
+    proof: MembershipProof
+    proof_height: int
+    #: Serialized SelfClientState (see MsgConnOpenTry); b"" = absent.
+    client_state: bytes = b""
+
+
+@dataclass(frozen=True)
+class MsgConnOpenConfirm:
+    connection_id: ConnectionId
+    proof: MembershipProof
+    proof_height: int
+
+
+@dataclass(frozen=True)
+class MsgChanOpenInit:
+    port_id: PortId
+    connection_id: ConnectionId
+    counterparty_port_id: PortId
+    order: ChannelOrder
+
+
+@dataclass(frozen=True)
+class MsgChanOpenTry:
+    port_id: PortId
+    connection_id: ConnectionId
+    counterparty_port_id: PortId
+    counterparty_channel_id: ChannelId
+    order: ChannelOrder
+    proof: MembershipProof
+    proof_height: int
+
+
+@dataclass(frozen=True)
+class MsgChanOpenAck:
+    port_id: PortId
+    channel_id: ChannelId
+    counterparty_channel_id: ChannelId
+    proof: MembershipProof
+    proof_height: int
+
+
+@dataclass(frozen=True)
+class MsgChanOpenConfirm:
+    port_id: PortId
+    channel_id: ChannelId
+    proof: MembershipProof
+    proof_height: int
+
+
+HandshakeMsg = Union[
+    MsgConnOpenInit, MsgConnOpenTry, MsgConnOpenAck, MsgConnOpenConfirm,
+    MsgChanOpenInit, MsgChanOpenTry, MsgChanOpenAck, MsgChanOpenConfirm,
+]
+
+_TAGS: list[type] = [
+    MsgConnOpenInit, MsgConnOpenTry, MsgConnOpenAck, MsgConnOpenConfirm,
+    MsgChanOpenInit, MsgChanOpenTry, MsgChanOpenAck, MsgChanOpenConfirm,
+]
+
+
+def encode_handshake(msg: HandshakeMsg) -> bytes:
+    """Tag + field-by-field canonical encoding."""
+    out = bytearray(encode_varint(_TAGS.index(type(msg))))
+    for name, value in vars(msg).items():
+        del name
+        if isinstance(value, MembershipProof):
+            out += encode_bytes(value.to_bytes())
+        elif isinstance(value, ChannelOrder):
+            out += encode_varint(int(value))
+        elif isinstance(value, bytes):
+            out += encode_bytes(value)
+        elif isinstance(value, str):
+            out += encode_str(value)
+        elif isinstance(value, int):
+            out += encode_varint(value)
+        else:
+            raise TypeError(f"unencodable handshake field {value!r}")
+    return bytes(out)
+
+
+def decode_handshake(data: bytes) -> HandshakeMsg:
+    reader = Reader(data)
+    tag = reader.read_varint()
+    if not 0 <= tag < len(_TAGS):
+        raise ValueError(f"unknown handshake tag {tag}")
+    cls = _TAGS[tag]
+    kwargs = {}
+    for name, annotation in cls.__annotations__.items():
+        if annotation is MembershipProof or annotation == "MembershipProof":
+            kwargs[name] = MembershipProof.from_bytes(reader.read_bytes())
+        elif annotation is ChannelOrder or annotation == "ChannelOrder":
+            kwargs[name] = ChannelOrder(reader.read_varint())
+        elif annotation is bytes or annotation == "bytes":
+            kwargs[name] = reader.read_bytes()
+        elif annotation is int or annotation == "int":
+            kwargs[name] = reader.read_varint()
+        else:
+            text = reader.read_str()
+            kwargs[name] = _id_type(annotation)(text)
+    reader.expect_end()
+    return cls(**kwargs)
+
+
+def _id_type(annotation) -> type:
+    mapping = {
+        ClientId: ClientId, "ClientId": ClientId,
+        ConnectionId: ConnectionId, "ConnectionId": ConnectionId,
+        ChannelId: ChannelId, "ChannelId": ChannelId,
+        PortId: PortId, "PortId": PortId,
+    }
+    return mapping.get(annotation, str)
+
+
+def apply_handshake(host, msg: HandshakeMsg) -> Optional[str]:
+    """Dispatch a handshake message to an :class:`~repro.ibc.host.IbcHost`.
+
+    Returns the newly created identifier for init/try steps, else None.
+    """
+    if isinstance(msg, MsgConnOpenInit):
+        return str(host.conn_open_init(msg.client_id, msg.counterparty_client_id))
+    if isinstance(msg, MsgConnOpenTry):
+        return str(host.conn_open_try(
+            msg.client_id, msg.counterparty_client_id,
+            msg.counterparty_connection_id, msg.proof, msg.proof_height,
+            counterparty_client_state=msg.client_state or None,
+        ))
+    if isinstance(msg, MsgConnOpenAck):
+        host.conn_open_ack(msg.connection_id, msg.counterparty_connection_id,
+                           msg.proof, msg.proof_height,
+                           counterparty_client_state=msg.client_state or None)
+        return None
+    if isinstance(msg, MsgConnOpenConfirm):
+        host.conn_open_confirm(msg.connection_id, msg.proof, msg.proof_height)
+        return None
+    if isinstance(msg, MsgChanOpenInit):
+        return str(host.chan_open_init(
+            msg.port_id, msg.connection_id, msg.counterparty_port_id, msg.order,
+        ))
+    if isinstance(msg, MsgChanOpenTry):
+        return str(host.chan_open_try(
+            msg.port_id, msg.connection_id, msg.counterparty_port_id,
+            msg.counterparty_channel_id, msg.order, msg.proof, msg.proof_height,
+        ))
+    if isinstance(msg, MsgChanOpenAck):
+        host.chan_open_ack(msg.port_id, msg.channel_id,
+                           msg.counterparty_channel_id, msg.proof, msg.proof_height)
+        return None
+    if isinstance(msg, MsgChanOpenConfirm):
+        host.chan_open_confirm(msg.port_id, msg.channel_id, msg.proof, msg.proof_height)
+        return None
+    raise TypeError(f"unknown handshake message {type(msg)!r}")

@@ -1,0 +1,110 @@
+"""IBC packets and acknowledgements (ICS-04).
+
+A packet is addressed by its source and destination (port, channel)
+pairs and a per-channel sequence number; the *commitment* stored in the
+sender's provable state binds every routing field, the payload and the
+timeout, so a relayer cannot alter any of them in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Hash, hash_concat
+from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+from repro.ibc.identifiers import ChannelId, PortId
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One IBC packet."""
+
+    sequence: int
+    source_port: PortId
+    source_channel: ChannelId
+    destination_port: PortId
+    destination_channel: ChannelId
+    payload: bytes
+    #: Absolute counterparty-observed timestamp after which the packet
+    #: may be timed out instead of delivered (0 = no timeout).
+    timeout_timestamp: float
+
+    def commitment(self) -> bytes:
+        """The 32-byte value stored under the packet-commitment key."""
+        digest = hash_concat(
+            b"packet",
+            self.sequence.to_bytes(8, "big"),
+            self.source_port.encode(),
+            self.source_channel.encode(),
+            self.destination_port.encode(),
+            self.destination_channel.encode(),
+            self.payload,
+            round(self.timeout_timestamp * 1000).to_bytes(8, "big"),
+        )
+        return bytes(digest)
+
+    def commitment_hash(self) -> Hash:
+        return Hash(self.commitment())
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_varint(self.sequence)
+        out += encode_str(self.source_port)
+        out += encode_str(self.source_channel)
+        out += encode_str(self.destination_port)
+        out += encode_str(self.destination_channel)
+        out += encode_bytes(self.payload)
+        out += encode_varint(round(self.timeout_timestamp * 1000))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        reader = Reader(data)
+        packet = cls.read_from(reader)
+        reader.expect_end()
+        return packet
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "Packet":
+        return cls(
+            sequence=reader.read_varint(),
+            source_port=PortId(reader.read_str()),
+            source_channel=ChannelId(reader.read_str()),
+            destination_port=PortId(reader.read_str()),
+            destination_channel=ChannelId(reader.read_str()),
+            payload=reader.read_bytes(),
+            timeout_timestamp=reader.read_varint() / 1000.0,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Acknowledgement:
+    """The receiver's application-level response to a packet."""
+
+    success: bool
+    result: bytes
+
+    def to_bytes(self) -> bytes:
+        return (b"\x01" if self.success else b"\x00") + self.result
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Acknowledgement":
+        if not data:
+            raise ValueError("empty acknowledgement")
+        return cls(success=data[0] == 1, result=data[1:])
+
+    def commitment(self) -> bytes:
+        """The value stored under the acknowledgement key."""
+        return bytes(hash_concat(b"ack", self.to_bytes()))
+
+    @classmethod
+    def ok(cls, result: bytes = b"") -> "Acknowledgement":
+        return cls(success=True, result=result)
+
+    @classmethod
+    def error(cls, reason: str) -> "Acknowledgement":
+        return cls(success=False, result=reason.encode("utf-8"))
+
+
+#: The value written under a packet-receipt key (presence is what counts).
+RECEIPT_VALUE = b"\x01"

@@ -1,0 +1,75 @@
+"""Self-client validation: the check the paper calls out as missing.
+
+Footnote 2 of the paper points at Octopus Network's NEAR-IBC leaving
+``validate_self_client`` blank.  The check matters during the connection
+handshake: each chain inspects the light client the *counterparty* runs
+of *it*, and refuses the connection if that client's view of "us" is
+bogus (wrong chain id, a future height, an unknown validator set) —
+otherwise a malicious counterparty could bind the connection to a fake
+twin of the local chain.
+
+This module defines the portable summary both chains exchange and the
+validators each chain registers with its :class:`~repro.ibc.host.IbcHost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+from repro.errors import HandshakeError
+
+
+@dataclass(frozen=True)
+class SelfClientState:
+    """What a chain's light client claims about the chain it tracks."""
+
+    chain_id: str
+    latest_height: int
+    #: Commitment to the validator set the client currently trusts
+    #: (epoch hash for guest clients, valset hash for Tendermint ones).
+    trusted_set_hash: bytes
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_str(self.chain_id)
+        out += encode_varint(self.latest_height)
+        out += encode_bytes(self.trusted_set_hash)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SelfClientState":
+        reader = Reader(data)
+        state = cls(
+            chain_id=reader.read_str(),
+            latest_height=reader.read_varint(),
+            trusted_set_hash=reader.read_bytes(),
+        )
+        reader.expect_end()
+        return state
+
+
+def validate_self_client(claimed: SelfClientState, our_chain_id: str,
+                         our_height: int, known_set_hashes: frozenset[bytes]) -> None:
+    """The generic validation both chains run (what NEAR-IBC left blank).
+
+    Raises :class:`HandshakeError` when the counterparty's client of us:
+
+    * tracks a different chain id (it is following someone else);
+    * claims a height we have not reached (a fabricated future);
+    * trusts a validator set we never had (a fake twin's set).
+    """
+    if claimed.chain_id != our_chain_id:
+        raise HandshakeError(
+            f"counterparty's client tracks chain {claimed.chain_id!r}, "
+            f"we are {our_chain_id!r}"
+        )
+    if claimed.latest_height > our_height:
+        raise HandshakeError(
+            f"counterparty's client claims height {claimed.latest_height}; "
+            f"our head is {our_height}"
+        )
+    if claimed.trusted_set_hash not in known_set_hashes:
+        raise HandshakeError(
+            "counterparty's client trusts a validator set this chain never had"
+        )

@@ -1,0 +1,290 @@
+"""A Tendermint/CometBFT-style light client (what the guest runs).
+
+The counterparty (Picasso in the deployment) is a Tendermint chain: each
+height is finalised by a commit carrying signatures from validators whose
+voting power exceeds two thirds of the validator set.  The light client
+verifies exactly that, tracking validator-set rotations through the
+``next_validators_hash`` committed in each header.
+
+Verification is split in two layers so it can run both off-host (one
+call, signatures checked directly) and on-host (the Guest Contract feeds
+in signer sets that the *runtime* verified through the precompile, one
+chunk-transaction at a time — see :mod:`repro.lightclient.chunked`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import Hash, hash_concat
+from repro.crypto.keys import PublicKey, Signature, SignatureScheme
+from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+from repro.errors import ClientError
+from repro.ibc.client import LightClient
+
+
+@dataclass(frozen=True)
+class ValidatorSet:
+    """An ordered list of (public key, voting power) pairs."""
+
+    members: tuple[tuple[PublicKey, int], ...]
+
+    @property
+    def total_power(self) -> int:
+        return sum(power for _, power in self.members)
+
+    def power_of(self, public_key: PublicKey) -> int:
+        for member, power in self.members:
+            if member == public_key:
+                return power
+        return 0
+
+    def canonical_hash(self) -> Hash:
+        parts: list[bytes] = [b"valset"]
+        for public_key, power in self.members:
+            parts.append(bytes(public_key))
+            parts.append(power.to_bytes(8, "big"))
+        return hash_concat(*parts)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(encode_varint(len(self.members)))
+        for public_key, power in self.members:
+            out += bytes(public_key)
+            out += encode_varint(power)
+        return bytes(out)
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "ValidatorSet":
+        count = reader.read_varint()
+        members = tuple(
+            (PublicKey(reader.read(32)), reader.read_varint()) for _ in range(count)
+        )
+        return cls(members=members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class CometHeader:
+    """The signed header of one counterparty block."""
+
+    chain_id: str
+    height: int
+    time: float
+    #: Root of the chain's provable store (its IBC commitments).
+    app_hash: Hash
+    validators_hash: Hash
+    next_validators_hash: Hash
+
+    def sign_bytes(self) -> bytes:
+        """The canonical message every commit signature covers."""
+        return bytes(hash_concat(
+            b"comet-vote",
+            self.chain_id.encode("utf-8"),
+            self.height.to_bytes(8, "big"),
+            round(self.time * 1000).to_bytes(8, "big"),
+            self.app_hash,
+            self.validators_hash,
+            self.next_validators_hash,
+        ))
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_str(self.chain_id)
+        out += encode_varint(self.height)
+        out += encode_varint(round(self.time * 1000))
+        out += bytes(self.app_hash)
+        out += bytes(self.validators_hash)
+        out += bytes(self.next_validators_hash)
+        return bytes(out)
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "CometHeader":
+        return cls(
+            chain_id=reader.read_str(),
+            height=reader.read_varint(),
+            time=reader.read_varint() / 1000.0,
+            app_hash=Hash(reader.read(32)),
+            validators_hash=Hash(reader.read(32)),
+            next_validators_hash=Hash(reader.read(32)),
+        )
+
+
+@dataclass(frozen=True)
+class Commit:
+    """The signatures finalising one header."""
+
+    signatures: tuple[tuple[PublicKey, Signature], ...]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(encode_varint(len(self.signatures)))
+        for public_key, signature in self.signatures:
+            out += bytes(public_key)
+            out += bytes(signature)
+        return bytes(out)
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "Commit":
+        count = reader.read_varint()
+        signatures = tuple(
+            (PublicKey(reader.read(32)), Signature(reader.read(64)))
+            for _ in range(count)
+        )
+        return cls(signatures=signatures)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+
+@dataclass(frozen=True)
+class LightClientUpdate:
+    """One full update: header, commit and (if rotating) the new set."""
+
+    header: CometHeader
+    commit: Commit
+    #: Included when the client has not seen this header's validator set.
+    validator_set: Optional[ValidatorSet] = None
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_bytes(self.header.to_bytes())
+        out += encode_bytes(self.commit.to_bytes())
+        if self.validator_set is not None:
+            out += encode_varint(1)
+            out += encode_bytes(self.validator_set.to_bytes())
+        else:
+            out += encode_varint(0)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LightClientUpdate":
+        reader = Reader(data)
+        header = CometHeader.read_from(Reader(reader.read_bytes()))
+        commit = Commit.read_from(Reader(reader.read_bytes()))
+        validator_set = None
+        if reader.read_varint():
+            validator_set = ValidatorSet.read_from(Reader(reader.read_bytes()))
+        reader.expect_end()
+        return cls(header=header, commit=commit, validator_set=validator_set)
+
+
+class TendermintLightClient(LightClient):
+    """Tendermint light client with the skipping-verification trust rule.
+
+    A header is adopted when (a) validators holding strictly more than
+    2/3 of *its own* validator set's power signed it, and (b) signers
+    holding strictly more than 1/3 of the *currently trusted* set's
+    power are among them — the overlap condition that lets the client
+    skip heights safely.  An empty genesis set means trust-on-first-use:
+    the first update's set is adopted as-is (how the deployed Guest
+    Contract was initialised against Picasso).
+    """
+
+    def __init__(self, chain_id: str, genesis_validators: ValidatorSet) -> None:
+        super().__init__()
+        self.chain_id = chain_id
+        self._trusted: Optional[ValidatorSet] = (
+            genesis_validators if len(genesis_validators) else None
+        )
+        self._known_valsets: dict[Hash, ValidatorSet] = {
+            genesis_validators.canonical_hash(): genesis_validators,
+        }
+        self._consensus: dict[int, tuple[Hash, float]] = {}
+        self._latest = 0
+
+    # ------------------------------------------------------------------
+    # LightClient interface
+    # ------------------------------------------------------------------
+
+    def latest_height(self) -> int:
+        return self._latest
+
+    def consensus_root(self, height: int) -> Optional[Hash]:
+        entry = self._consensus.get(height)
+        return entry[0] if entry else None
+
+    def consensus_timestamp(self, height: int) -> Optional[float]:
+        entry = self._consensus.get(height)
+        return entry[1] if entry else None
+
+    def state_summary(self):
+        """What this client claims about the tracked chain — exchanged
+        and validated during connection handshakes."""
+        from repro.ibc.self_client import SelfClientState
+        trusted = self._trusted
+        return SelfClientState(
+            chain_id=self.chain_id,
+            latest_height=self._latest,
+            trusted_set_hash=(
+                bytes(trusted.canonical_hash()) if trusted is not None else b""
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Update — two layers
+    # ------------------------------------------------------------------
+
+    def resolve_validator_set(self, update: LightClientUpdate) -> ValidatorSet:
+        """Find (or admit) the validator set the header commits to."""
+        valset = self._known_valsets.get(update.header.validators_hash)
+        if valset is None:
+            if update.validator_set is None:
+                raise ClientError(
+                    "unknown validator set and none supplied in the update"
+                )
+            if update.validator_set.canonical_hash() != update.header.validators_hash:
+                raise ClientError("supplied validator set does not match the header")
+            valset = update.validator_set
+        return valset
+
+    def apply_verified(self, header: CometHeader, signers: set[PublicKey],
+                       valset: ValidatorSet) -> None:
+        """State transition given signers whose signatures are already
+        verified (by the host runtime's precompile, in the chunked flow).
+        """
+        self.ensure_active()
+        if header.chain_id != self.chain_id:
+            raise ClientError(
+                f"header is for chain {header.chain_id!r}, client tracks {self.chain_id!r}"
+            )
+        if valset.canonical_hash() != header.validators_hash:
+            raise ClientError("validator set does not match the header")
+        signed_power = sum(valset.power_of(signer) for signer in signers)
+        threshold = (valset.total_power * 2) // 3
+        if signed_power <= threshold:
+            raise ClientError(
+                f"signed power {signed_power} does not exceed 2/3 of "
+                f"{valset.total_power}"
+            )
+        if self._trusted is not None:
+            trusted_power = sum(self._trusted.power_of(signer) for signer in signers)
+            if trusted_power * 3 <= self._trusted.total_power:
+                raise ClientError(
+                    f"signers hold {trusted_power} of the trusted set's "
+                    f"{self._trusted.total_power} power; need more than 1/3"
+                )
+        known = self._consensus.get(header.height)
+        if known is not None and known[0] != header.app_hash:
+            self.freeze()
+            raise ClientError(
+                f"conflicting counterparty headers at height {header.height}; frozen"
+            )
+        self._consensus[header.height] = (header.app_hash, header.time)
+        if header.height >= self._latest:
+            self._latest = header.height
+            self._trusted = valset
+        self._known_valsets[header.validators_hash] = valset
+
+    def update(self, update: LightClientUpdate, scheme: SignatureScheme) -> None:
+        """Full verification: check every commit signature directly."""
+        valset = self.resolve_validator_set(update)
+        sign_bytes = update.header.sign_bytes()
+        signers = {
+            public_key
+            for public_key, signature in update.commit.signatures
+            if valset.power_of(public_key) > 0
+            and scheme.verify(public_key, sign_bytes, signature)
+        }
+        self.apply_verified(update.header, signers, valset)

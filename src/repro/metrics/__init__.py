@@ -1,0 +1,8 @@
+"""Measurement utilities: summaries, distributions and report tables."""
+
+from repro.metrics.figures import cdf, histogram
+from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.table import format_table, format_distribution
+
+__all__ = ["Summary", "cdf", "format_distribution", "format_table",
+           "histogram", "percentile", "summarize"]

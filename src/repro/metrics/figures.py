@@ -1,0 +1,96 @@
+"""ASCII figures: histograms and CDFs for the terminal.
+
+The paper's evaluation figures are distribution plots; the benchmark
+harness renders the reproduced series in the same *shape* with plain
+text, so a side-by-side eyeball against the published figures needs no
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+_BAR = "#"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:,.0f}"
+    if magnitude >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def histogram(values: Sequence[float], bins: int = 12, width: int = 40,
+              unit: str = "", title: str = "",
+              log_counts: bool = False) -> str:
+    """A horizontal-bar histogram.
+
+    ``log_counts`` compresses the bar lengths logarithmically — useful
+    when one bin dominates (e.g. Fig. 6's Δ cut-off spike) but the tail
+    still matters.
+    """
+    if not values:
+        raise ValueError("histogram of empty data")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] += 1
+
+    def bar_length(count: int) -> int:
+        if count == 0:
+            return 0
+        if log_counts:
+            peak = math.log1p(max(counts))
+            return max(1, round(width * math.log1p(count) / peak))
+        return max(1, round(width * count / max(counts)))
+
+    lines = [title] if title else []
+    label_width = max(
+        len(f"{_format_value(low + i * span)}-{_format_value(low + (i + 1) * span)}{unit}")
+        for i in range(bins)
+    )
+    for index, count in enumerate(counts):
+        lower = _format_value(low + index * span)
+        upper = _format_value(low + (index + 1) * span)
+        label = f"{lower}-{upper}{unit}".rjust(label_width)
+        lines.append(f"  {label} |{_BAR * bar_length(count):<{width}} {count}")
+    return "\n".join(lines)
+
+
+def cdf(values: Sequence[float], points: int = 10, width: int = 40,
+        unit: str = "", title: str = "",
+        markers: Optional[Sequence[float]] = None) -> str:
+    """A text CDF: cumulative share of values below evenly spaced levels,
+    plus optional marker rows at the thresholds a figure calls out."""
+    if not values:
+        raise ValueError("cdf of empty data")
+    data = sorted(values)
+    low, high = data[0], data[-1]
+    if high == low:
+        high = low + 1.0
+
+    levels = [low + (high - low) * i / (points - 1) for i in range(points)]
+    for marker in markers or ():
+        if low <= marker <= high:
+            levels.append(marker)
+    levels = sorted(set(levels))
+
+    import bisect
+    lines = [title] if title else []
+    label_width = max(len(f"<= {_format_value(level)}{unit}") for level in levels)
+    for level in levels:
+        share = bisect.bisect_right(data, level) / len(data)
+        bar = _BAR * round(width * share)
+        flag = "  <-" if markers and any(abs(level - m) < 1e-9 for m in markers) else ""
+        label = f"<= {_format_value(level)}{unit}".rjust(label_width)
+        lines.append(f"  {label} |{bar:<{width}} {share * 100:5.1f}%{flag}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that output aligned and readable without pulling in a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Monospace table with right-aligned numeric-looking cells."""
+    columns = len(headers)
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            cell = row[index] if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        padded = []
+        for index in range(columns):
+            cell = cells[index] if index < len(cells) else ""
+            padded.append(cell.rjust(widths[index]))
+        return "  ".join(padded)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_distribution(values: Sequence[float], unit: str = "",
+                        thresholds: Sequence[float] = ()) -> str:
+    """One-line CDF readout: key quantiles plus requested thresholds
+    (e.g. "95 % < 21 s" to compare against a figure's shape)."""
+    from repro.metrics.stats import fraction_below, summarize
+    summary = summarize(values)
+    parts = [
+        f"n={summary.count}",
+        f"min={summary.minimum:.1f}{unit}",
+        f"p50={summary.median:.1f}{unit}",
+        f"p75={summary.q3:.1f}{unit}",
+        f"max={summary.maximum:.1f}{unit}",
+        f"mean={summary.mean:.1f}{unit}",
+    ]
+    for threshold in thresholds:
+        share = fraction_below(values, threshold) * 100.0
+        parts.append(f"{share:.1f}%<{threshold:g}{unit}")
+    return "  ".join(parts)

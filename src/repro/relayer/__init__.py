@@ -1,0 +1,6 @@
+"""Relayer-side actors: the block cranker and the IBC relayer (Alg. 2)."""
+
+from repro.relayer.cranker import Cranker
+from repro.relayer.relayer import Relayer, RelayerConfig
+
+__all__ = ["Cranker", "Relayer", "RelayerConfig"]

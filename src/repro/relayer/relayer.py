@@ -1,0 +1,600 @@
+"""The IBC relayer (Alg. 2, lower half) plus handshake coordination.
+
+The relayer is permissionless and untrusted: everything it submits is
+proof-checked on-chain, so a faulty relayer can only *delay* packets,
+never forge them (§III-C).  It moves four flows:
+
+* **guest → counterparty packets**: on every ``FinalisedBlock`` with
+  packets, push the guest header + signatures to the counterparty's
+  guest light client, then submit each packet with a membership proof
+  against the finalised state root (Alg. 2 lines 4–10);
+* **counterparty → guest packets**: poll the counterparty's sends, run a
+  *chunked* light-client update on the guest (the Fig. 4/5 flow), then
+  deliver each packet as an atomic 4–5-transaction bundle (§V-A);
+* **acknowledgements**, both directions, with the same proof machinery;
+  confirmed acks are sealed on the guest (§III-A);
+* **handshakes**: :meth:`open_connection` / :meth:`open_channel` drive
+  the four-step ICS-03/04 handshakes end to end.
+
+All guest-side light-client work funnels through one at-a-time chunked
+updates; queued work items declare the minimum counterparty height they
+need and run as soon as an update covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.guest.api import DeliveryResult, GuestApi, LcUpdateResult
+from repro.guest.contract import GuestContract
+from repro.host.chain import HostChain
+from repro.host.events import HostEvent
+from repro.host.fees import BaseFee, FeeStrategy
+from repro.ibc import messages as msgs
+from repro.ibc import commitment as paths
+from repro.ibc.channel import ChannelOrder
+from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.lightclient.guest_client import GuestClientUpdate, GuestLightClient
+from repro.relayer.strategy import SpendLedger
+from repro.sim.kernel import Simulation
+from repro.counterparty.chain import CounterpartyChain
+
+
+@dataclass
+class RelayerConfig:
+    """Relayer tunables."""
+
+    #: Transactions kept in flight during a chunked LC update; real
+    #: relayers rate-limit for ordering and fee predictability.  This
+    #: window is the main knob behind the Fig. 4 latency distribution.
+    lc_update_window: int = 3
+    #: Tip paid per delivery bundle.  The deployment's relayer used "the
+    #: default Solana fee model" (§V-B) — its ReceivePacket transactions
+    #: landed together without paying a tip — so the default is zero.
+    bundle_tip_lamports: int = 0
+    #: Counterparty send-queue polling period, seconds.
+    poll_seconds: float = 3.0
+
+
+@dataclass
+class RelayerMetrics:
+    """What the §V-B experiments read off the relayer."""
+
+    lc_updates: list[LcUpdateResult] = field(default_factory=list)
+    deliveries: list[DeliveryResult] = field(default_factory=list)
+    acks_returned: list[DeliveryResult] = field(default_factory=list)
+    packets_relayed_to_counterparty: int = 0
+    packets_relayed_to_guest: int = 0
+
+
+class Relayer:
+    """One relayer bridging the guest and the counterparty."""
+
+    def __init__(self, sim: Simulation, host: HostChain,
+                 counterparty: CounterpartyChain, contract: GuestContract,
+                 api: GuestApi, guest_client: GuestLightClient,
+                 guest_client_id_on_cp: ClientId,
+                 config: Optional[RelayerConfig] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.counterparty = counterparty
+        self.contract = contract
+        self.api = api
+        self.guest_client = guest_client
+        self.guest_client_id_on_cp = guest_client_id_on_cp
+        self.config = config or RelayerConfig()
+        self.metrics = RelayerMetrics()
+        #: §V-B bookkeeping: every lamport this relayer burns, by flow.
+        self.ledger = SpendLedger()
+
+        # Filled in by the handshakes (or wired directly by tests).
+        self.guest_connection_id: Optional[ConnectionId] = None
+        self.cp_connection_id: Optional[ConnectionId] = None
+        self.guest_channel: Optional[tuple[PortId, ChannelId]] = None
+        self.cp_channel: Optional[tuple[PortId, ChannelId]] = None
+
+        #: Failure-injection switch: a paused relayer observes nothing
+        #: and submits nothing; packets queue up and flow on resume.
+        self.paused = False
+        self._lc_busy = False
+        self._lc_queue: list[tuple[int, Callable[[int], None]]] = []
+        self._cp_sends_seen = 0
+        self._finalised_waiters: list[tuple[int, Callable[[int], None]]] = []
+        self._last_relayed_guest_height = 0
+        #: (dst_channel, sequence) -> staged guest->cp ack return info.
+        self._pending_guest_acks: dict[tuple[str, int], tuple[Packet, Acknowledgement]] = {}
+        self._handshake_waiter: Optional[Callable[[Optional[str], int], None]] = None
+        self._missed_finalised: list[HostEvent] = []
+
+        host.subscribe("FinalisedBlock", self._on_finalised_block)
+        host.subscribe("PacketReceived", self._on_guest_packet_received)
+        host.subscribe("HandshakeStep", self._on_guest_handshake_step)
+        sim.schedule(self.config.poll_seconds, self._poll_counterparty)
+
+    # ==================================================================
+    # Guest -> counterparty direction (Alg. 2)
+    # ==================================================================
+
+    def _on_finalised_block(self, event: HostEvent) -> None:
+        if self.paused:
+            # Missed while down; the catch-up sweep below re-relays.
+            self._missed_finalised.append(event)
+            return
+        height = event.payload["height"]
+        header = event.payload["header"]
+        packets = event.payload["packets"]
+        signatures = event.payload["signatures"]
+        new_epoch = event.payload.get("new_epoch")
+
+        slot = header.host_slot
+        waiters = [w for w in self._finalised_waiters if w[0] <= slot]
+        self._finalised_waiters = [w for w in self._finalised_waiters if w[0] > slot]
+        has_ack_work = bool(self._pending_guest_acks)
+
+        if not packets and not header.last_in_epoch and not waiters and not has_ack_work:
+            return  # Alg. 2 line 5: nothing to relay
+
+        del new_epoch  # the event's next-epoch hint; we ship the header's own set
+        update = GuestClientUpdate(
+            header=header, signatures=signatures,
+            # Always carry the header's own epoch: the counterparty's
+            # client may have skipped epochs (it validates by hash and
+            # the 1/3-overlap rule, so this is never trusted blindly).
+            new_epoch=self.contract.epochs.get(header.epoch_id),
+        )
+
+        def after_update(result, cp_height: int) -> None:
+            if isinstance(result, ReproError):
+                # Stale/duplicate/old-epoch update: keep the waiters so a
+                # later finalised block can satisfy them (liveness).
+                self._finalised_waiters.extend(waiters)
+                return
+            self._last_relayed_guest_height = height
+            for packet in packets:
+                self._deliver_to_counterparty(packet, height)
+            self._return_guest_acks(height)
+            for _, action in waiters:
+                action(height)
+
+        self.counterparty.submit(
+            lambda: self.guest_client.update(update), on_result=after_update,
+        )
+
+    def _deliver_to_counterparty(self, packet: Packet, proof_height: int) -> None:
+        """Alg. 2 lines 7–10: prove the commitment, deliver the packet."""
+        view = self.contract.state_view(proof_height)
+        proof = view.prove_seq(
+            paths.commitment_prefix(packet.source_port, packet.source_channel),
+            packet.sequence,
+        )
+
+        def after_recv(result, cp_height: int) -> None:
+            if isinstance(result, ReproError):
+                return  # e.g. double delivery by a competing relayer
+            self.metrics.packets_relayed_to_counterparty += 1
+            # The counterparty wrote its ack at cp_height; bring it home.
+            self._queue_guest_work(
+                cp_height,
+                lambda h, p=packet, a=result: self._ack_on_guest(p, a, h),
+            )
+
+        self.counterparty.submit(
+            lambda: self.counterparty.ibc.recv_packet(
+                packet, proof, proof_height, local_time=self.sim.now,
+            ),
+            on_result=after_recv,
+        )
+
+    def _ack_on_guest(self, packet: Packet, ack: Acknowledgement, lc_height: int) -> None:
+        """Prove the counterparty's ack to the guest (4–5 tx bundle)."""
+        store = self.counterparty.store_at(lc_height)
+        proof = store.prove_seq(
+            paths.ack_prefix(packet.destination_port, packet.destination_channel),
+            packet.sequence,
+        )
+
+        def done(result: DeliveryResult) -> None:
+            self.metrics.acks_returned.append(result)
+            self.ledger.record("ack-return", result.total_fee, result.transaction_count)
+
+        self.api.acknowledge_packet(
+            packet, ack, proof, lc_height,
+            tip_lamports=self.config.bundle_tip_lamports, on_done=done,
+        )
+
+    # ==================================================================
+    # Counterparty -> guest direction
+    # ==================================================================
+
+    def resume(self) -> None:
+        """Come back from a failure-injected outage: replay the
+        finalised-block events missed while down."""
+        self.paused = False
+        missed, self._missed_finalised = self._missed_finalised, []
+        for event in missed:
+            self._on_finalised_block(event)
+
+    def _poll_counterparty(self) -> None:
+        if self.paused:
+            self.sim.schedule(self.config.poll_seconds, self._poll_counterparty)
+            return
+        fresh = self.counterparty.sent_packets_since(self._cp_sends_seen)
+        self._cp_sends_seen += len(fresh)
+        for packet, committed_height in fresh:
+            self._queue_guest_work(
+                committed_height,
+                lambda h, p=packet: self._deliver_to_guest(p, h),
+            )
+        self.sim.schedule(self.config.poll_seconds, self._poll_counterparty)
+
+    def _deliver_to_guest(self, packet: Packet, lc_height: int) -> None:
+        store = self.counterparty.store_at(lc_height)
+        proof = store.prove_seq(
+            paths.commitment_prefix(packet.source_port, packet.source_channel),
+            packet.sequence,
+        )
+
+        def done(result: DeliveryResult) -> None:
+            self.metrics.deliveries.append(result)
+            self.ledger.record("delivery", result.total_fee, result.transaction_count)
+            if result.success:
+                self.metrics.packets_relayed_to_guest += 1
+
+        self.api.deliver_packet(
+            packet, proof, lc_height,
+            tip_lamports=self.config.bundle_tip_lamports, on_done=done,
+        )
+
+    def _on_guest_packet_received(self, event: HostEvent) -> None:
+        """The guest wrote an ack; return it once a finalised guest block
+        covers it (flushed inside :meth:`_on_finalised_block`)."""
+        key = (event.payload["channel"], event.payload["sequence"])
+        packet = event.payload.get("packet")
+        ack_bytes = event.payload.get("ack_bytes")
+        if packet is None or ack_bytes is None:
+            return
+        self._pending_guest_acks[key] = (packet, Acknowledgement.from_bytes(ack_bytes))
+
+    def _return_guest_acks(self, finalised_height: int) -> None:
+        view = self.contract.state_view(finalised_height)
+        for key, (packet, ack) in list(self._pending_guest_acks.items()):
+            try:
+                proof = view.prove_seq(
+                    paths.ack_prefix(packet.destination_port, packet.destination_channel),
+                    packet.sequence,
+                )
+            except ReproError:
+                continue  # ack not yet inside this block's state root
+
+            def after_ack(result, cp_height: int, packet=packet) -> None:
+                if isinstance(result, ReproError):
+                    return
+                # The sender processed the ack; seal it on the guest
+                # (bounded storage, §III-A).
+                self.api.confirm_ack(
+                    str(packet.destination_port),
+                    str(packet.destination_channel),
+                    packet.sequence,
+                )
+
+            self.counterparty.submit(
+                lambda packet=packet, ack=ack, proof=proof,
+                       h=finalised_height: self.counterparty.ibc.acknowledge_packet(
+                    packet, ack, proof, h,
+                ),
+                on_result=after_ack,
+            )
+            del self._pending_guest_acks[key]
+
+    # ==================================================================
+    # Chunked guest-side light-client updates (the Fig. 4/5 flow)
+    # ==================================================================
+
+    def _queue_guest_work(self, min_cp_height: int, action: Callable[[int], None]) -> None:
+        known = self.contract.counterparty_client.latest_height()
+        if known >= min_cp_height:
+            action(known)
+            return
+        self._lc_queue.append((min_cp_height, action))
+        self._kick_lc_update()
+
+    def _kick_lc_update(self) -> None:
+        if self._lc_busy or not self._lc_queue:
+            return
+        target = self.counterparty.height
+        needed = max(height for height, _ in self._lc_queue)
+        if target < needed:
+            # The needed block is not produced yet; retry shortly.
+            self.sim.schedule(self.counterparty.config.block_seconds, self._kick_lc_update)
+            return
+        self._lc_busy = True
+        update = self.counterparty.light_client_update(target)
+        self.api.submit_lc_update(
+            update,
+            window=self.config.lc_update_window,
+            on_done=lambda result: self._lc_done(result),
+        )
+
+    def _lc_done(self, result: LcUpdateResult) -> None:
+        self._lc_busy = False
+        self.metrics.lc_updates.append(result)
+        self.ledger.record("lc-update", result.total_fee, result.transaction_count)
+        if result.success:
+            ready = [w for w in self._lc_queue if w[0] <= result.height]
+            self._lc_queue = [w for w in self._lc_queue if w[0] > result.height]
+            for _, action in ready:
+                action(result.height)
+        if self._lc_queue:
+            self._kick_lc_update()
+
+    # ==================================================================
+    # Handshake coordination (ICS-03 + ICS-04, both four-step dances)
+    # ==================================================================
+
+    def _on_guest_handshake_step(self, event: HostEvent) -> None:
+        waiter, self._handshake_waiter = self._handshake_waiter, None
+        if waiter is not None:
+            waiter(event.payload.get("created"), event.slot)
+
+    def _guest_handshake(self, msg, then: Callable[[Optional[str], int], None]) -> None:
+        """Submit a handshake datagram to the guest and await its event
+        (which carries the host slot the mutation executed at)."""
+        self._handshake_waiter = then
+        self.api.submit_handshake(msg)
+
+    def _ensure_cp_view(self, min_slot: int, then: Callable[[int], None]) -> None:
+        """Run ``then(height)`` once the counterparty's guest client has
+        verified a finalised guest block whose state includes every
+        mutation up to host slot ``min_slot``.
+
+        If such a block is already finalised, push its header to the
+        counterparty right away (it may never have been relayed — empty
+        blocks are skipped by Alg. 2); otherwise queue a waiter flushed
+        by :meth:`_on_finalised_block`.
+        """
+        candidates = [
+            block for block in self.contract.blocks
+            if block.finalised and block.header.host_slot >= min_slot
+        ]
+        if not candidates:
+            self._finalised_waiters.append((min_slot, then))
+            return
+        block = min(candidates, key=lambda b: b.height)
+        header = block.header
+        update = GuestClientUpdate(
+            header=header,
+            signatures=dict(block.signers),
+            new_epoch=self.contract.epochs.get(header.epoch_id),
+        )
+
+        def after_update(result, cp_height: int) -> None:
+            if isinstance(result, ReproError):
+                # Could not push this header (e.g. an older epoch than the
+                # client now tracks): wait for the next finalised block.
+                self._finalised_waiters.append((min_slot, then))
+                return
+            then(header.height)
+
+        self.counterparty.submit(
+            lambda: self.guest_client.update(update), on_result=after_update,
+        )
+
+    def open_connection(self, cp_client_id_on_guest: ClientId,
+                        on_open: Callable[[ConnectionId, ConnectionId], None]) -> None:
+        """Run the full ICS-03 handshake, guest-initiated."""
+
+        def step1_init() -> None:
+            self._guest_handshake(
+                msgs.MsgConnOpenInit(
+                    client_id=cp_client_id_on_guest,
+                    counterparty_client_id=self.guest_client_id_on_cp,
+                ),
+                lambda created, slot: step2_try(ConnectionId(created), slot),
+            )
+
+        def step2_try(guest_conn: ConnectionId, slot: int) -> None:
+            self.guest_connection_id = guest_conn
+
+            def after_final(height: int) -> None:
+                proof = self.contract.state_view(height).prove(
+                    paths.connection_path(guest_conn),
+                )
+                # validate_self_client material: what the guest's client
+                # currently claims about the counterparty (absent until
+                # the first chunked update has run).
+                claim = None
+                if self.contract.counterparty_client.latest_height() > 0:
+                    claim = self.contract.counterparty_client.state_summary().to_bytes()
+                self.counterparty.submit(
+                    lambda: self.counterparty.ibc.conn_open_try(
+                        self.guest_client_id_on_cp, cp_client_id_on_guest,
+                        guest_conn, proof, height,
+                        counterparty_client_state=claim,
+                    ),
+                    on_result=lambda result, h: step3_ack(guest_conn, ConnectionId(result), h),
+                )
+
+            self._ensure_cp_view(slot, after_final)
+
+        def step3_ack(guest_conn: ConnectionId, cp_conn: ConnectionId, cp_height: int) -> None:
+            self.cp_connection_id = cp_conn
+
+            def with_lc(height: int) -> None:
+                proof = self.counterparty.store_at(height).prove(
+                    paths.connection_path(cp_conn),
+                )
+                self._guest_handshake(
+                    msgs.MsgConnOpenAck(
+                        connection_id=guest_conn,
+                        counterparty_connection_id=cp_conn,
+                        proof=proof, proof_height=height,
+                        # What the counterparty's client claims about the
+                        # guest — the guest validates this on-chain.
+                        client_state=self.guest_client.state_summary().to_bytes(),
+                    ),
+                    lambda _, slot: step4_confirm(guest_conn, cp_conn, slot),
+                )
+
+            self._queue_guest_work(cp_height, with_lc)
+
+        def step4_confirm(guest_conn: ConnectionId, cp_conn: ConnectionId, slot: int) -> None:
+            def after_final(height: int) -> None:
+                proof = self.contract.state_view(height).prove(
+                    paths.connection_path(guest_conn),
+                )
+                self.counterparty.submit(
+                    lambda: self.counterparty.ibc.conn_open_confirm(cp_conn, proof, height),
+                    on_result=lambda result, h: on_open(guest_conn, cp_conn),
+                )
+
+            self._ensure_cp_view(slot, after_final)
+
+        step1_init()
+
+    def open_connection_from_counterparty(
+        self, cp_client_id_on_guest: ClientId,
+        on_open: Callable[[ConnectionId, ConnectionId], None],
+    ) -> None:
+        """Run the ICS-03 handshake with the *counterparty* as initiator.
+
+        Mirrors :meth:`open_connection` with the roles swapped; it
+        exercises the guest-side TRY and the counterparty-side CONFIRM
+        paths (a connection can be opened from either end — the relayer
+        merely carries datagrams).
+        """
+
+        def step1_init() -> None:
+            self.counterparty.submit(
+                lambda: self.counterparty.ibc.conn_open_init(
+                    self.guest_client_id_on_cp, cp_client_id_on_guest,
+                ),
+                on_result=lambda result, h: step2_try(ConnectionId(result), h),
+            )
+
+        def step2_try(cp_conn: ConnectionId, cp_height: int) -> None:
+            self.cp_connection_id = cp_conn
+
+            def with_lc(height: int) -> None:
+                proof = self.counterparty.store_at(height).prove(
+                    paths.connection_path(cp_conn),
+                )
+                self._guest_handshake(
+                    msgs.MsgConnOpenTry(
+                        client_id=cp_client_id_on_guest,
+                        counterparty_client_id=self.guest_client_id_on_cp,
+                        counterparty_connection_id=cp_conn,
+                        proof=proof, proof_height=height,
+                        client_state=self.guest_client.state_summary().to_bytes(),
+                    ),
+                    lambda created, slot: step3_ack(ConnectionId(created), cp_conn, slot),
+                )
+
+            self._queue_guest_work(cp_height, with_lc)
+
+        def step3_ack(guest_conn: ConnectionId, cp_conn: ConnectionId, slot: int) -> None:
+            self.guest_connection_id = guest_conn
+
+            def after_final(height: int) -> None:
+                proof = self.contract.state_view(height).prove(
+                    paths.connection_path(guest_conn),
+                )
+                claim = None
+                if self.contract.counterparty_client.latest_height() > 0:
+                    claim = self.contract.counterparty_client.state_summary().to_bytes()
+                self.counterparty.submit(
+                    lambda: self.counterparty.ibc.conn_open_ack(
+                        cp_conn, guest_conn, proof, height,
+                        counterparty_client_state=claim,
+                    ),
+                    on_result=lambda result, h: step4_confirm(guest_conn, cp_conn, h),
+                )
+
+            self._ensure_cp_view(slot, after_final)
+
+        def step4_confirm(guest_conn: ConnectionId, cp_conn: ConnectionId,
+                          cp_height: int) -> None:
+            def with_lc(height: int) -> None:
+                proof = self.counterparty.store_at(height).prove(
+                    paths.connection_path(cp_conn),
+                )
+                self._guest_handshake(
+                    msgs.MsgConnOpenConfirm(
+                        connection_id=guest_conn, proof=proof, proof_height=height,
+                    ),
+                    lambda _, slot: on_open(guest_conn, cp_conn),
+                )
+
+            self._queue_guest_work(cp_height, with_lc)
+
+        step1_init()
+
+    def open_channel(self, guest_port: PortId, cp_port: PortId,
+                     on_open: Callable[[ChannelId, ChannelId], None],
+                     order: ChannelOrder = ChannelOrder.UNORDERED) -> None:
+        """Run the full ICS-04 channel handshake over the open connection."""
+        guest_conn = self.guest_connection_id
+        cp_conn = self.cp_connection_id
+        if guest_conn is None or cp_conn is None:
+            raise ReproError("open_connection must complete before open_channel")
+
+        def step1_init() -> None:
+            self._guest_handshake(
+                msgs.MsgChanOpenInit(
+                    port_id=guest_port, connection_id=guest_conn,
+                    counterparty_port_id=cp_port, order=order,
+                ),
+                lambda created, slot: step2_try(ChannelId(created), slot),
+            )
+
+        def step2_try(guest_chan: ChannelId, slot: int) -> None:
+            def after_final(height: int) -> None:
+                proof = self.contract.state_view(height).prove(
+                    paths.channel_path(guest_port, guest_chan),
+                )
+                self.counterparty.submit(
+                    lambda: self.counterparty.ibc.chan_open_try(
+                        cp_port, cp_conn, guest_port, guest_chan, order, proof, height,
+                    ),
+                    on_result=lambda result, h: step3_ack(guest_chan, ChannelId(result), h),
+                )
+
+            self._ensure_cp_view(slot, after_final)
+
+        def step3_ack(guest_chan: ChannelId, cp_chan: ChannelId, cp_height: int) -> None:
+            def with_lc(height: int) -> None:
+                proof = self.counterparty.store_at(height).prove(
+                    paths.channel_path(cp_port, cp_chan),
+                )
+                self._guest_handshake(
+                    msgs.MsgChanOpenAck(
+                        port_id=guest_port, channel_id=guest_chan,
+                        counterparty_channel_id=cp_chan,
+                        proof=proof, proof_height=height,
+                    ),
+                    lambda _, slot: step4_confirm(guest_chan, cp_chan, slot),
+                )
+
+            self._queue_guest_work(cp_height, with_lc)
+
+        def step4_confirm(guest_chan: ChannelId, cp_chan: ChannelId, slot: int) -> None:
+            def after_final(height: int) -> None:
+                proof = self.contract.state_view(height).prove(
+                    paths.channel_path(guest_port, guest_chan),
+                )
+
+                def finish(result, h: int) -> None:
+                    self.guest_channel = (guest_port, guest_chan)
+                    self.cp_channel = (cp_port, cp_chan)
+                    on_open(guest_chan, cp_chan)
+
+                self.counterparty.submit(
+                    lambda: self.counterparty.ibc.chan_open_confirm(cp_port, cp_chan, proof, height),
+                    on_result=finish,
+                )
+
+            self._ensure_cp_view(slot, after_final)
+
+        step1_init()

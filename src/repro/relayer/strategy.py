@@ -1,0 +1,73 @@
+"""Relayer fee policies and spend accounting.
+
+§V-B measures the relayer's costs under "the default Solana fee model";
+§VI-B observes that fixed models are inflexible.  This module gives a
+relayer operator the pieces both sections imply:
+
+* :class:`SpendLedger` — per-category accounting of every lamport the
+  relayer burns (light-client updates, deliveries, ack returns), the
+  §V-B bookkeeping;
+* :class:`EscalatingFeePolicy` — start cheap (base fee), escalate to a
+  priority fee when an operation has been waiting too long, and cap the
+  escalation: the simple deadline-aware policy §VI-B gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.fees import BaseFee, FeeStrategy, PriorityFee
+from repro.units import lamports_to_usd
+
+
+@dataclass
+class SpendLedger:
+    """Where the relayer's lamports went (the §V-B cost breakdown)."""
+
+    by_category: dict[str, int] = field(default_factory=dict)
+    transactions: dict[str, int] = field(default_factory=dict)
+
+    def record(self, category: str, fee_lamports: int, tx_count: int = 1) -> None:
+        self.by_category[category] = self.by_category.get(category, 0) + fee_lamports
+        self.transactions[category] = self.transactions.get(category, 0) + tx_count
+
+    def total_lamports(self) -> int:
+        return sum(self.by_category.values())
+
+    def total_usd(self) -> float:
+        return lamports_to_usd(self.total_lamports())
+
+    def summary(self) -> str:
+        lines = ["relayer spend:"]
+        for category in sorted(self.by_category):
+            lines.append(
+                f"  {category}: {lamports_to_usd(self.by_category[category]):.4f} USD "
+                f"over {self.transactions[category]} txs"
+            )
+        lines.append(f"  total: {self.total_usd():.4f} USD")
+        return "\n".join(lines)
+
+
+@dataclass
+class EscalatingFeePolicy:
+    """Deadline-aware strategy selection (the §VI-B sketch).
+
+    An operation starts on the base fee; once it has waited longer than
+    ``escalate_after`` seconds (stuck in a congested mempool), retries
+    use a priority fee whose compute-unit price doubles per escalation
+    up to ``max_cu_price``.
+    """
+
+    escalate_after: float = 10.0
+    initial_cu_price: int = 100_000
+    max_cu_price: int = 8_000_000
+    escalations: int = 0
+
+    def strategy_for(self, waited_seconds: float) -> FeeStrategy:
+        if waited_seconds < self.escalate_after:
+            return BaseFee()
+        # Exponential escalation with the waiting time.
+        steps = int(waited_seconds // self.escalate_after)
+        price = min(self.max_cu_price, self.initial_cu_price * (2 ** (steps - 1)))
+        self.escalations += 1
+        return PriorityFee(compute_unit_price=price)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+Host chain, counterparty chain, validators, relayers and fishermen all run
+as actors on one deterministic event loop: callbacks scheduled at
+simulated times, ties broken by insertion order, randomness drawn from a
+single seeded generator.  Re-running any experiment with the same seed
+reproduces it bit-for-bit (DESIGN.md §6).
+"""
+
+from repro.sim.kernel import EventHandle, Simulation
+from repro.sim.rng import lognormal_from_quantiles, Rng
+
+__all__ = ["Simulation", "EventHandle", "Rng", "lognormal_from_quantiles"]

@@ -1,0 +1,31 @@
+"""A tiny gossip network for off-chain messages.
+
+Misbehaviour evidence (§III-C) lives off-chain until a Fisherman submits
+it: a byzantine validator's conflicting block signature circulates on
+the validator gossip layer, not on the host chain.  This publish/
+subscribe fabric models that layer with per-subscriber delivery delays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulation
+
+
+class GossipNetwork:
+    """Topic-based pub/sub with simulated propagation delay."""
+
+    def __init__(self, sim: Simulation, mean_delay: float = 0.5) -> None:
+        self.sim = sim
+        self.mean_delay = mean_delay
+        self._rng = sim.rng.fork("gossip")
+        self._subscribers: dict[str, list[Callable[[Any], None]]] = {}
+
+    def subscribe(self, topic: str, callback: Callable[[Any], None]) -> None:
+        self._subscribers.setdefault(topic, []).append(callback)
+
+    def publish(self, topic: str, message: Any) -> None:
+        for callback in self._subscribers.get(topic, ()):
+            delay = self._rng.expovariate(1.0 / self.mean_delay)
+            self.sim.schedule(delay, callback, message)

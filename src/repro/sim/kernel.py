@@ -1,0 +1,111 @@
+"""The event loop: a priority queue of timestamped callbacks.
+
+Design notes:
+
+* Time is a float of seconds since simulation start.
+* Events at equal times fire in scheduling order (a monotonically
+  increasing tie-breaker), so runs are deterministic.
+* Cancellation is lazy: a cancelled handle stays in the heap but is
+  skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.rng import Rng
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback; keep it to :meth:`cancel` the event."""
+
+    __slots__ = ("callback", "args", "cancelled")
+
+    def __init__(self, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulation:
+    """Deterministic discrete-event simulation loop."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = Rng(seed)
+        self._queue: list[_QueueEntry] = []
+        self._sequence = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} before now ({self.now})")
+        handle = EventHandle(callback, args)
+        self._sequence += 1
+        heapq.heappush(self._queue, _QueueEntry(time, self._sequence, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self.now = entry.time
+            entry.handle.callback(*entry.handle.args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run every event scheduled strictly before or at ``time``, then
+        advance the clock to ``time``."""
+        if time < self.now:
+            raise SimulationError("run_until cannot move time backwards")
+        while self._queue:
+            entry = self._queue[0]
+            if entry.time > time:
+                break
+            heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self.now = entry.time
+            entry.handle.callback(*entry.handle.args)
+        self.now = time
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"simulation exceeded {max_events} events")
+
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._queue if not entry.handle.cancelled)

@@ -1,0 +1,110 @@
+"""Seeded randomness and the latency distributions the actors draw from.
+
+All stochastic behaviour flows through one :class:`Rng` per simulation
+(a thin wrapper over :class:`random.Random` with the distribution helpers
+the validator/relayer models need), so a single seed pins down the whole
+run.
+
+The log-normal fitting helper converts the quantile statistics published
+in Table I of the paper (median and Q3 of each validator's signing
+latency) into distribution parameters, which is how the behaviour
+profiles are calibrated.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+#: z-value of the 75th percentile of the standard normal distribution.
+_Z_Q3 = 0.6744897501960817
+
+
+def lognormal_from_quantiles(median: float, q3: float) -> tuple[float, float]:
+    """Return ``(mu, sigma)`` of a log-normal with the given median and Q3.
+
+    For ``X ~ LogNormal(mu, sigma)``: ``median = exp(mu)`` and
+    ``Q3 = exp(mu + z_{0.75} * sigma)``.
+    """
+    if median <= 0 or q3 <= median:
+        raise ValueError("need 0 < median < q3 to fit a log-normal")
+    mu = math.log(median)
+    sigma = (math.log(q3) - mu) / _Z_Q3
+    return mu, sigma
+
+
+class Rng:
+    """Seeded random source with the helpers simulations need."""
+
+    def __init__(self, seed: int) -> None:
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "Rng":
+        """Derive an independent, reproducible sub-stream.
+
+        Actors fork their own streams so adding an actor never perturbs
+        the draws of the others.  The label is mixed in with SHA-256 (not
+        the built-in ``hash``, which is salted per process and would
+        break cross-run determinism).
+        """
+        import hashlib
+        label_bits = int.from_bytes(
+            hashlib.sha256(label.encode("utf-8")).digest()[:8], "big",
+        )
+        return Rng(self._random.randrange(1 << 62) ^ (label_bits & ((1 << 62) - 1)))
+
+    # -- primitives ------------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence):
+        return self._random.choice(seq)
+
+    def shuffle(self, items: list) -> None:
+        self._random.shuffle(items)
+
+    def bytes(self, count: int) -> bytes:
+        return self._random.randbytes(count)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival time with the given rate (1/s)."""
+        return self._random.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    # -- modelling helpers -------------------------------------------------
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return self._random.lognormvariate(mu, sigma)
+
+    def lognormal_quantiles(self, median: float, q3: float) -> float:
+        """Draw from the log-normal fitted to ``(median, q3)``."""
+        mu, sigma = lognormal_from_quantiles(median, q3)
+        return self._random.lognormvariate(mu, sigma)
+
+    def bernoulli(self, probability: float) -> bool:
+        return self._random.random() < probability
+
+    def poisson(self, mean: float) -> int:
+        """Poisson sample via inversion (mean small in our workloads)."""
+        if mean < 0:
+            raise ValueError("poisson mean must be non-negative")
+        if mean > 700:
+            # Normal approximation keeps exp() in range for huge means.
+            return max(0, round(self._random.gauss(mean, math.sqrt(mean))))
+        level = math.exp(-mean)
+        k = 0
+        product = self._random.random()
+        while product > level:
+            k += 1
+            product *= self._random.random()
+        return k

@@ -1,0 +1,66 @@
+"""Nibble-path helpers for the Patricia trie.
+
+Keys are arbitrary byte strings; the trie branches on 4-bit nibbles
+(16-way), so a key of ``n`` bytes is a path of ``2n`` nibbles.  Paths are
+plain tuples of ints in ``range(16)`` — immutable, hashable and cheap to
+slice.
+"""
+
+from __future__ import annotations
+
+Nibbles = tuple[int, ...]
+
+
+def key_to_nibbles(key: bytes) -> Nibbles:
+    """Expand a byte string into its nibble path (high nibble first)."""
+    path = []
+    for byte in key:
+        path.append(byte >> 4)
+        path.append(byte & 0x0F)
+    return tuple(path)
+
+
+def nibbles_to_key(path: Nibbles) -> bytes:
+    """Pack an even-length nibble path back into bytes."""
+    if len(path) % 2:
+        raise ValueError("cannot pack an odd number of nibbles into bytes")
+    out = bytearray()
+    for i in range(0, len(path), 2):
+        out.append((path[i] << 4) | path[i + 1])
+    return bytes(out)
+
+
+def common_prefix_len(a: Nibbles, b: Nibbles) -> int:
+    """Length of the longest common prefix of two nibble paths."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+def encode_nibbles(path: Nibbles) -> bytes:
+    """Canonical byte encoding of a nibble path (for hashing/wire).
+
+    One header byte carries the parity; nibbles are then packed two per
+    byte with a zero pad when odd.  The parity byte keeps e.g. ``(1,)``
+    and ``(1, 0)`` distinct.
+    """
+    header = bytes([len(path) % 2])
+    padded = path if len(path) % 2 == 0 else path + (0,)
+    return header + nibbles_to_key(padded)
+
+
+def decode_nibbles(data: bytes) -> Nibbles:
+    """Inverse of :func:`encode_nibbles`."""
+    if not data:
+        raise ValueError("empty nibble encoding")
+    odd = data[0]
+    if odd not in (0, 1):
+        raise ValueError("bad nibble-path parity byte")
+    path = key_to_nibbles(data[1:])
+    if odd:
+        if path and path[-1] != 0:
+            raise ValueError("bad nibble-path padding")
+        path = path[:-1]
+    return path

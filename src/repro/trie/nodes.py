@@ -1,0 +1,155 @@
+"""Node types of the sealable Patricia trie.
+
+Four node kinds, following Merkle-Patricia conventions plus the paper's
+sealing extension:
+
+* :class:`LeafNode` — remaining key path + value.
+* :class:`ExtensionNode` — shared path segment compressing a chain of
+  single-child branches.
+* :class:`BranchNode` — 16 child slots and an optional value for a key
+  terminating at the branch.
+* :class:`SealedNode` — the paper's novelty: a stub that preserves a
+  subtree's hash while its contents have been deleted from storage
+  (§III-A).  Its accounted size is just the 32-byte hash that the parent
+  must retain anyway.
+
+Hashes are computed lazily and cached; mutation happens by rebuilding the
+nodes along the touched path (the trie object owns that logic), so a cache
+never goes stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.crypto.hashing import Hash, hash_concat
+from repro.trie.nibbles import Nibbles, encode_nibbles
+
+_TAG_LEAF = b"\x00"
+_TAG_EXTENSION = b"\x01"
+_TAG_BRANCH = b"\x02"
+
+#: Accounted per-node byte overhead (tag + bookkeeping), mirroring the
+#: on-chain layout the paper's deployment uses inside its 10 MiB account.
+NODE_OVERHEAD_BYTES = 8
+HASH_BYTES = 32
+
+Node = Union["LeafNode", "ExtensionNode", "BranchNode", "SealedNode"]
+
+
+class LeafNode:
+    """A terminal node holding ``value`` at the end of ``path``."""
+
+    __slots__ = ("path", "value", "_hash")
+
+    def __init__(self, path: Nibbles, value: bytes) -> None:
+        self.path = path
+        self.value = value
+        self._hash: Optional[Hash] = None
+
+    def hash(self) -> Hash:
+        if self._hash is None:
+            self._hash = hash_concat(_TAG_LEAF, encode_nibbles(self.path), self.value)
+        return self._hash
+
+    def storage_bytes(self) -> int:
+        return NODE_OVERHEAD_BYTES + len(encode_nibbles(self.path)) + len(self.value)
+
+    def __repr__(self) -> str:
+        return f"Leaf(path={self.path}, value={self.value[:8]!r})"
+
+
+class ExtensionNode:
+    """A path-compression node: ``path`` then ``child``."""
+
+    __slots__ = ("path", "child", "_hash")
+
+    def __init__(self, path: Nibbles, child: Node) -> None:
+        if not path:
+            raise ValueError("extension path must be non-empty")
+        self.path = path
+        self.child = child
+        self._hash: Optional[Hash] = None
+
+    def hash(self) -> Hash:
+        if self._hash is None:
+            self._hash = hash_concat(_TAG_EXTENSION, encode_nibbles(self.path), self.child.hash())
+        return self._hash
+
+    def storage_bytes(self) -> int:
+        return NODE_OVERHEAD_BYTES + len(encode_nibbles(self.path)) + HASH_BYTES
+
+    def __repr__(self) -> str:
+        return f"Extension(path={self.path})"
+
+
+class BranchNode:
+    """A 16-way fan-out with an optional value terminating at the branch."""
+
+    __slots__ = ("children", "value", "_hash")
+
+    def __init__(self, children: Optional[list[Optional[Node]]] = None, value: Optional[bytes] = None) -> None:
+        self.children: list[Optional[Node]] = children if children is not None else [None] * 16
+        if len(self.children) != 16:
+            raise ValueError("branch must have exactly 16 child slots")
+        self.value = value
+        self._hash: Optional[Hash] = None
+
+    def hash(self) -> Hash:
+        if self._hash is None:
+            parts: list[bytes | Hash] = [_TAG_BRANCH]
+            for child in self.children:
+                parts.append(child.hash() if child is not None else Hash.zero())
+            parts.append(self.value if self.value is not None else b"\xff")
+            self._hash = hash_concat(*parts)
+        return self._hash
+
+    def child_count(self) -> int:
+        return sum(1 for child in self.children if child is not None)
+
+    def live_child_count(self) -> int:
+        """Children that are present and not sealed."""
+        return sum(
+            1 for child in self.children
+            if child is not None and not isinstance(child, SealedNode)
+        )
+
+    def storage_bytes(self) -> int:
+        """Sparse on-chain layout: a 2-byte occupancy bitmap plus one
+        hash per *present* child (matching the compact node encoding the
+        deployment uses inside its 10 MiB account — empty slots cost
+        nothing)."""
+        value_bytes = len(self.value) if self.value is not None else 0
+        bitmap_bytes = 2
+        return (NODE_OVERHEAD_BYTES + bitmap_bytes
+                + self.child_count() * HASH_BYTES + value_bytes)
+
+    def __repr__(self) -> str:
+        slots = "".join("x" if c is not None else "." for c in self.children)
+        return f"Branch([{slots}], value={'yes' if self.value is not None else 'no'})"
+
+
+class SealedNode:
+    """A pruned subtree: only the hash survives (§III-A).
+
+    The node's contents are gone from storage; the hash keeps the root
+    commitment intact.  Any traversal that reaches a sealed node must
+    fail — which is exactly how the Guest Contract prevents double
+    delivery after sealing a processed packet's receipt.
+    """
+
+    __slots__ = ("_hash",)
+
+    def __init__(self, node_hash: Hash) -> None:
+        self._hash = node_hash
+
+    def hash(self) -> Hash:
+        return self._hash
+
+    def storage_bytes(self) -> int:
+        # The hash lives in the parent either way; a sealed stub occupies
+        # no extra storage in the on-chain layout.
+        return 0
+
+    def __repr__(self) -> str:
+        return f"Sealed({self._hash.short()}…)"

@@ -1,0 +1,118 @@
+"""Canonical trie serialization: snapshots and cold storage.
+
+A full dump of a sealable trie — including sealed stubs, which must
+survive round-trips because they carry the commitment of pruned
+history.  Operators use dumps for state snapshots (validator
+bootstrapping, audits, migrating the guest's 10 MiB account); the
+format is canonical, so ``load(dump(t)).root_hash == t.root_hash`` and
+two equal tries dump to identical bytes.
+
+Layout: a node is ``tag`` + fields, depth-first:
+
+* ``0x00`` leaf: nibble path, value
+* ``0x01`` extension: nibble path, child node
+* ``0x02`` branch: 2-byte occupancy bitmap, optional value flag+bytes,
+  then the present children in slot order
+* ``0x03`` sealed stub: the 32-byte hash
+* ``0xFF`` empty trie (root only)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.hashing import Hash
+from repro.encoding import Reader, encode_bytes
+from repro.errors import TrieError
+from repro.trie.nibbles import decode_nibbles, encode_nibbles
+from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, Node, SealedNode
+from repro.trie.trie import SealableTrie
+
+_LEAF = 0x00
+_EXTENSION = 0x01
+_BRANCH = 0x02
+_SEALED = 0x03
+_EMPTY = 0xFF
+
+
+def dump_trie(trie: SealableTrie) -> bytes:
+    """Serialize the whole trie (live nodes and sealed stubs)."""
+    root = trie._root
+    if root is None:
+        return bytes([_EMPTY])
+    out = bytearray()
+    _write_node(out, root)
+    return bytes(out)
+
+
+def load_trie(data: bytes) -> SealableTrie:
+    """Reconstruct a trie from :func:`dump_trie` output.
+
+    Raises :class:`TrieError` on malformed input; the caller should
+    compare the loaded root hash against a trusted commitment.
+    """
+    reader = Reader(data)
+    trie = SealableTrie()
+    first = reader.read(1)[0]
+    if first != _EMPTY:
+        trie._root = _read_node(reader, first)
+    try:
+        reader.expect_end()
+    except ValueError as exc:
+        raise TrieError(f"trailing bytes in trie dump: {exc}") from exc
+    return trie
+
+
+def _write_node(out: bytearray, node: Node) -> None:
+    if isinstance(node, LeafNode):
+        out.append(_LEAF)
+        out += encode_bytes(encode_nibbles(node.path))
+        out += encode_bytes(node.value)
+    elif isinstance(node, ExtensionNode):
+        out.append(_EXTENSION)
+        out += encode_bytes(encode_nibbles(node.path))
+        _write_node(out, node.child)
+    elif isinstance(node, BranchNode):
+        out.append(_BRANCH)
+        bitmap = 0
+        for index, child in enumerate(node.children):
+            if child is not None:
+                bitmap |= 1 << index
+        out += bitmap.to_bytes(2, "big")
+        if node.value is not None:
+            out.append(1)
+            out += encode_bytes(node.value)
+        else:
+            out.append(0)
+        for child in node.children:
+            if child is not None:
+                _write_node(out, child)
+    elif isinstance(node, SealedNode):
+        out.append(_SEALED)
+        out += bytes(node.hash())
+    else:  # pragma: no cover - exhaustive over the node union
+        raise TrieError(f"unknown node type {type(node)!r}")
+
+
+def _read_node(reader: Reader, tag: Optional[int] = None) -> Node:
+    if tag is None:
+        tag = reader.read(1)[0]
+    if tag == _LEAF:
+        path = decode_nibbles(reader.read_bytes())
+        value = reader.read_bytes()
+        return LeafNode(path, value)
+    if tag == _EXTENSION:
+        path = decode_nibbles(reader.read_bytes())
+        child = _read_node(reader)
+        return ExtensionNode(path, child)
+    if tag == _BRANCH:
+        bitmap = int.from_bytes(reader.read(2), "big")
+        value = reader.read_bytes() if reader.read(1)[0] else None
+        children: list[Optional[Node]] = [None] * 16
+        for index in range(16):
+            if bitmap & (1 << index):
+                children[index] = _read_node(reader)
+        return BranchNode(children, value)
+    if tag == _SEALED:
+        return SealedNode(Hash(reader.read(32)))
+    raise TrieError(f"unknown trie-dump node tag {tag}")

@@ -1,0 +1,504 @@
+"""The sealable Merkle trie (§III-A of the paper).
+
+A 16-ary Merkle-Patricia trie with one extension over the textbook
+structure: :meth:`SealableTrie.seal` prunes an entry from storage while
+preserving the root commitment.  Sealed regions become inaccessible —
+reads, writes and proofs through them fail with
+:class:`~repro.errors.SealedNodeError` — which is exactly the mechanism
+the Guest Contract uses to keep its state bounded while still preventing
+double delivery of packets.
+
+Mutations rebuild the nodes along the touched path (structural sharing for
+everything else), so cached hashes can never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.crypto.hashing import Hash
+from repro.errors import KeyNotFoundError, SealedNodeError, TrieError
+from repro.trie.nibbles import Nibbles, common_prefix_len, key_to_nibbles
+from repro.trie.nodes import (
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    Node,
+    SealedNode,
+)
+from repro.trie.proof import (
+    BranchStep,
+    DivergentExtensionEvidence,
+    DivergentLeafEvidence,
+    EmptySlotEvidence,
+    EmptyTrieEvidence,
+    ExtensionStep,
+    MembershipProof,
+    NoBranchValueEvidence,
+    NonMembershipProof,
+    Step,
+)
+
+
+class SealableTrie:
+    """Merkle-Patricia trie with sealing, proofs and storage accounting."""
+
+    def __init__(self) -> None:
+        self._root: Optional[Node] = None
+
+    # ------------------------------------------------------------------
+    # Commitment
+    # ------------------------------------------------------------------
+
+    @property
+    def root_hash(self) -> Hash:
+        """The 32-byte commitment carried in guest block headers."""
+        if self._root is None:
+            return Hash.zero()
+        return self._root.hash()
+
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    def snapshot(self) -> "SealableTrie":
+        """An O(1) frozen view of the current state.
+
+        Mutations copy the nodes along the touched path and share the
+        rest (persistent-style), so old roots remain valid forever: a
+        snapshot is just a second trie handle onto today's root.  Chains
+        use this to serve proofs against *historical* block roots.
+        """
+        view = SealableTrie()
+        view._root = self._root
+        return view
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        """Return the value stored under ``key``.
+
+        Raises :class:`KeyNotFoundError` if absent and
+        :class:`SealedNodeError` if the lookup path enters a sealed region.
+        """
+        node = self._root
+        path = key_to_nibbles(key)
+        while True:
+            if node is None:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            if isinstance(node, SealedNode):
+                raise SealedNodeError(f"lookup of {key.hex()} hit a sealed node")
+            if isinstance(node, LeafNode):
+                if node.path == path:
+                    return node.value
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    raise KeyNotFoundError(f"key {key.hex()} not in trie")
+                path = path[len(node.path):]
+                node = node.child
+                continue
+            # BranchNode
+            if not path:
+                if node.value is None:
+                    raise KeyNotFoundError(f"key {key.hex()} not in trie")
+                return node.value
+            node, path = node.children[path[0]], path[1:]
+
+    def contains(self, key: bytes) -> bool:
+        """``True`` iff ``key`` is present and readable (not sealed)."""
+        try:
+            self.get(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key -> value``.
+
+        Raises :class:`SealedNodeError` if the write path enters a sealed
+        region (sealed entries can never be resurrected — the double-
+        delivery guard of §III-A).
+        """
+        if not isinstance(value, bytes):
+            raise TrieError("trie values must be bytes")
+        self._root = self._set(self._root, key_to_nibbles(key), value)
+
+    def _set(self, node: Optional[Node], path: Nibbles, value: bytes) -> Node:
+        if node is None:
+            return LeafNode(path, value)
+
+        if isinstance(node, SealedNode):
+            raise SealedNodeError("write path hit a sealed node")
+
+        if isinstance(node, LeafNode):
+            if node.path == path:
+                return LeafNode(path, value)
+            return self._split_leaf(node, path, value)
+
+        if isinstance(node, ExtensionNode):
+            prefix = common_prefix_len(node.path, path)
+            if prefix == len(node.path):
+                child = self._set(node.child, path[prefix:], value)
+                return ExtensionNode(node.path, child)
+            return self._split_extension(node, prefix, path, value)
+
+        # BranchNode
+        if not path:
+            return BranchNode(list(node.children), value)
+        children = list(node.children)
+        children[path[0]] = self._set(children[path[0]], path[1:], value)
+        return BranchNode(children, node.value)
+
+    def _split_leaf(self, leaf: LeafNode, path: Nibbles, value: bytes) -> Node:
+        """Split a leaf whose path diverges from the inserted key."""
+        prefix = common_prefix_len(leaf.path, path)
+        branch = BranchNode()
+        old_rest, new_rest = leaf.path[prefix:], path[prefix:]
+        if old_rest:
+            branch.children[old_rest[0]] = LeafNode(old_rest[1:], leaf.value)
+        else:
+            branch.value = leaf.value
+        if new_rest:
+            branch.children[new_rest[0]] = LeafNode(new_rest[1:], value)
+        else:
+            branch.value = value
+        if prefix:
+            return ExtensionNode(path[:prefix], branch)
+        return branch
+
+    def _split_extension(self, ext: ExtensionNode, prefix: int, path: Nibbles, value: bytes) -> Node:
+        """Split an extension at the divergence point ``prefix``."""
+        branch = BranchNode()
+        ext_rest = ext.path[prefix:]
+        # Re-attach the extension's tail under its first diverging nibble.
+        if len(ext_rest) == 1:
+            branch.children[ext_rest[0]] = ext.child
+        else:
+            branch.children[ext_rest[0]] = ExtensionNode(ext_rest[1:], ext.child)
+        new_rest = path[prefix:]
+        if new_rest:
+            branch.children[new_rest[0]] = LeafNode(new_rest[1:], value)
+        else:
+            branch.value = value
+        if prefix:
+            return ExtensionNode(path[:prefix], branch)
+        return branch
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` (collapsing redundant nodes).
+
+        Unlike :meth:`seal`, deletion changes the root commitment; it is
+        what the IBC module uses to clear packet commitments after
+        acknowledgement.
+        """
+        self._root = self._delete(self._root, key_to_nibbles(key), key)
+
+    def _delete(self, node: Optional[Node], path: Nibbles, key: bytes) -> Optional[Node]:
+        if node is None:
+            raise KeyNotFoundError(f"key {key.hex()} not in trie")
+        if isinstance(node, SealedNode):
+            raise SealedNodeError("delete path hit a sealed node")
+
+        if isinstance(node, LeafNode):
+            if node.path == path:
+                return None
+            raise KeyNotFoundError(f"key {key.hex()} not in trie")
+
+        if isinstance(node, ExtensionNode):
+            if path[: len(node.path)] != node.path:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            child = self._delete(node.child, path[len(node.path):], key)
+            if child is None:
+                return None
+            return self._merge_extension(node.path, child)
+
+        # BranchNode
+        if not path:
+            if node.value is None:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            return self._collapse_branch(list(node.children), None)
+        child = node.children[path[0]]
+        new_child = self._delete(child, path[1:], key)
+        children = list(node.children)
+        children[path[0]] = new_child
+        return self._collapse_branch(children, node.value)
+
+    def _merge_extension(self, path: Nibbles, child: Node) -> Node:
+        """Normalize an extension so no extension points at a leaf or
+        another extension."""
+        if isinstance(child, LeafNode):
+            return LeafNode(path + child.path, child.value)
+        if isinstance(child, ExtensionNode):
+            return ExtensionNode(path + child.path, child.child)
+        return ExtensionNode(path, child)
+
+    def _collapse_branch(self, children: list[Optional[Node]], value: Optional[bytes]) -> Optional[Node]:
+        """Collapse a branch left with at most one occupant after delete."""
+        occupied = [i for i, child in enumerate(children) if child is not None]
+        if value is not None:
+            if not occupied:
+                return LeafNode((), value)
+            return BranchNode(children, value)
+        if not occupied:
+            return None
+        if len(occupied) == 1:
+            index = occupied[0]
+            only = children[index]
+            assert only is not None
+            if isinstance(only, SealedNode):
+                # Cannot merge into a sealed child (its hash is fixed);
+                # keep the branch as-is to preserve commitments.
+                return BranchNode(children, None)
+            return self._merge_extension((index,), only)
+        return BranchNode(children, None)
+
+    # ------------------------------------------------------------------
+    # Sealing (the paper's contribution)
+    # ------------------------------------------------------------------
+
+    def seal(self, key: bytes) -> None:
+        """Seal the entry at ``key``: prune it while preserving the root.
+
+        The leaf is replaced by a hash-only stub; ancestors whose children
+        are all sealed collapse into stubs as well (§III-A).  After
+        sealing, the entry can never be read, re-written or proven again.
+        """
+        self._root = self._seal(self._root, key_to_nibbles(key), key)
+
+    def _seal(self, node: Optional[Node], path: Nibbles, key: bytes) -> Node:
+        if node is None:
+            raise KeyNotFoundError(f"key {key.hex()} not in trie")
+        if isinstance(node, SealedNode):
+            raise SealedNodeError(f"seal path for {key.hex()} hit an already sealed node")
+
+        if isinstance(node, LeafNode):
+            if node.path != path:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            return SealedNode(node.hash())
+
+        if isinstance(node, ExtensionNode):
+            if path[: len(node.path)] != node.path:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            child = self._seal(node.child, path[len(node.path):], key)
+            if isinstance(child, SealedNode):
+                # The whole extension's subtree is sealed: seal the
+                # extension too, preserving its own hash.
+                new_ext = ExtensionNode(node.path, child)
+                return SealedNode(new_ext.hash())
+            return ExtensionNode(node.path, child)
+
+        # BranchNode
+        if not path:
+            if node.value is None:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            raise TrieError(
+                "cannot seal a value stored at a branch; provable stores "
+                "hash keys to fixed length so values terminate at leaves"
+            )
+        child = node.children[path[0]]
+        sealed_child = self._seal(child, path[1:], key)
+        children = list(node.children)
+        children[path[0]] = sealed_child
+        branch = BranchNode(children, node.value)
+        if branch.value is None and branch.live_child_count() == 0:
+            return SealedNode(branch.hash())
+        return branch
+
+    # ------------------------------------------------------------------
+    # Proofs
+    # ------------------------------------------------------------------
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Generate a membership proof for ``key``.
+
+        Raises if the key is absent or its path enters a sealed region
+        (sealed data can no longer be proven — by design).
+        """
+        steps: list[Step] = []
+        node = self._root
+        path = key_to_nibbles(key)
+        while True:
+            if node is None:
+                raise KeyNotFoundError(f"key {key.hex()} not in trie")
+            if isinstance(node, SealedNode):
+                raise SealedNodeError(f"proof path for {key.hex()} hit a sealed node")
+            if isinstance(node, LeafNode):
+                if node.path != path:
+                    raise KeyNotFoundError(f"key {key.hex()} not in trie")
+                return MembershipProof(
+                    key=key, value=node.value, steps=tuple(steps), leaf_path=node.path,
+                )
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    raise KeyNotFoundError(f"key {key.hex()} not in trie")
+                steps.append(ExtensionStep(node.path))
+                path = path[len(node.path):]
+                node = node.child
+                continue
+            # BranchNode
+            if not path:
+                raise TrieError(
+                    "cannot prove a branch-value entry; provable stores "
+                    "hash keys to fixed length so values terminate at leaves"
+                )
+            index = path[0]
+            steps.append(BranchStep(
+                index=index,
+                siblings=self._sibling_hashes(node, index),
+                value=node.value,
+            ))
+            node, path = node.children[index], path[1:]
+
+    def prove_absence(self, key: bytes) -> NonMembershipProof:
+        """Generate a non-membership proof for ``key``.
+
+        Raises :class:`TrieError` if the key *is* present, and
+        :class:`SealedNodeError` if its path enters a sealed region
+        (absence through sealed data cannot be shown).
+        """
+        steps: list[Step] = []
+        node = self._root
+        path = key_to_nibbles(key)
+        while True:
+            if node is None:
+                if steps:
+                    raise TrieError("internal: descended into an empty child")
+                return NonMembershipProof(key=key, steps=(), evidence=EmptyTrieEvidence())
+            if isinstance(node, SealedNode):
+                raise SealedNodeError(f"absence proof for {key.hex()} hit a sealed node")
+            if isinstance(node, LeafNode):
+                if node.path == path:
+                    raise TrieError(f"key {key.hex()} is present; cannot prove absence")
+                return NonMembershipProof(
+                    key=key, steps=tuple(steps),
+                    evidence=DivergentLeafEvidence(path=node.path, value=node.value),
+                )
+            if isinstance(node, ExtensionNode):
+                prefix = common_prefix_len(node.path, path)
+                if prefix < len(node.path):
+                    return NonMembershipProof(
+                        key=key, steps=tuple(steps),
+                        evidence=DivergentExtensionEvidence(
+                            path=node.path, child=node.child.hash(),
+                        ),
+                    )
+                steps.append(ExtensionStep(node.path))
+                path = path[len(node.path):]
+                node = node.child
+                continue
+            # BranchNode
+            if not path:
+                if node.value is not None:
+                    raise TrieError(f"key {key.hex()} is present; cannot prove absence")
+                return NonMembershipProof(
+                    key=key, steps=tuple(steps),
+                    evidence=NoBranchValueEvidence(children=self._all_child_hashes(node)),
+                )
+            index = path[0]
+            child = node.children[index]
+            if child is None:
+                return NonMembershipProof(
+                    key=key, steps=tuple(steps),
+                    evidence=EmptySlotEvidence(
+                        children=self._all_child_hashes(node), value=node.value,
+                    ),
+                )
+            steps.append(BranchStep(
+                index=index,
+                siblings=self._sibling_hashes(node, index),
+                value=node.value,
+            ))
+            node, path = child, path[1:]
+
+    @staticmethod
+    def _sibling_hashes(branch: BranchNode, index: int) -> tuple[Hash, ...]:
+        return tuple(
+            child.hash() if child is not None else Hash.zero()
+            for i, child in enumerate(branch.children)
+            if i != index
+        )
+
+    @staticmethod
+    def _all_child_hashes(branch: BranchNode) -> tuple[Hash, ...]:
+        return tuple(
+            child.hash() if child is not None else Hash.zero()
+            for child in branch.children
+        )
+
+    # ------------------------------------------------------------------
+    # Storage accounting (§V-D)
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of live (unsealed) nodes in storage."""
+        return sum(1 for _ in self._iter_live_nodes())
+
+    def sealed_count(self) -> int:
+        """Number of sealed stubs currently embedded in live parents."""
+        count = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SealedNode):
+                count += 1
+            elif isinstance(node, ExtensionNode):
+                stack.append(node.child)
+            elif isinstance(node, BranchNode):
+                stack.extend(child for child in node.children if child is not None)
+        return count
+
+    def storage_bytes(self) -> int:
+        """Bytes of live node storage, per the accounted on-chain layout."""
+        return sum(node.storage_bytes() for node in self._iter_live_nodes())
+
+    def _iter_live_nodes(self) -> Iterator[Node]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SealedNode):
+                continue
+            yield node
+            if isinstance(node, ExtensionNode):
+                stack.append(node.child)
+            elif isinstance(node, BranchNode):
+                stack.extend(child for child in node.children if child is not None)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate live ``(key, value)`` pairs with even-nibble keys.
+
+        Sealed subtrees are skipped (their contents are gone); entries
+        whose accumulated path has odd nibble count cannot be expressed
+        as bytes and are skipped as well (they do not occur for
+        byte-string keys).
+        """
+        def walk(node: Optional[Node], prefix: Nibbles) -> Iterator[tuple[Nibbles, bytes]]:
+            if node is None or isinstance(node, SealedNode):
+                return
+            if isinstance(node, LeafNode):
+                yield prefix + node.path, node.value
+                return
+            if isinstance(node, ExtensionNode):
+                yield from walk(node.child, prefix + node.path)
+                return
+            if node.value is not None:
+                yield prefix, node.value
+            for i, child in enumerate(node.children):
+                yield from walk(child, prefix + (i,))
+
+        from repro.trie.nibbles import nibbles_to_key
+        for path, value in walk(self._root, ()):
+            if len(path) % 2 == 0:
+                yield nibbles_to_key(path), value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())

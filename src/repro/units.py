@@ -1,0 +1,93 @@
+"""Units, currencies and the published constants of the deployment.
+
+All on-chain amounts in this library are integer **lamports** (the smallest
+Solana denomination).  Conversions to SOL or US dollars happen only at the
+metrics/reporting boundary, using the paper's assumption of 200 USD per SOL
+(§V: "assuming a SOL price of 200 USD").
+
+The host-runtime constants come straight from the paper (§IV) and the
+Solana documentation it cites:
+
+* transaction size limit: **1232 bytes**
+* compute budget: **1.4 million compute units**
+* default heap limit: **32 KiB**
+* maximum account size: **10 MiB**
+* base fee: **5000 lamports per signature** (0.1 cents at 200 USD/SOL,
+  matching §V-B's "0.1 cents per transaction and additional 0.1 cents per
+  signature")
+"""
+
+from __future__ import annotations
+
+# --- currency ---------------------------------------------------------------
+
+LAMPORTS_PER_SOL: int = 1_000_000_000
+USD_PER_SOL: float = 200.0
+MICROLAMPORTS_PER_LAMPORT: int = 1_000_000
+
+# --- host runtime limits (§IV) ----------------------------------------------
+
+MAX_TRANSACTION_BYTES: int = 1232
+MAX_COMPUTE_UNITS: int = 1_400_000
+MAX_HEAP_BYTES: int = 32 * 1024
+MAX_ACCOUNT_BYTES: int = 10 * 1024 * 1024
+
+# --- fees -------------------------------------------------------------------
+
+BASE_FEE_LAMPORTS_PER_SIGNATURE: int = 5_000
+
+# Rent: Solana charges a refundable deposit proportional to account size.
+# Calibrated so a 10 MiB account costs ~14.6 k USD (§V-D): the real-network
+# rate is ~6.96 lamports per byte-year, exempt at two years.
+RENT_LAMPORTS_PER_BYTE_YEAR: float = 3_480.0
+RENT_EXEMPTION_YEARS: float = 2.0
+ACCOUNT_STORAGE_OVERHEAD_BYTES: int = 128
+
+# --- cadence ----------------------------------------------------------------
+
+HOST_SLOT_SECONDS: float = 0.4
+COUNTERPARTY_BLOCK_SECONDS: float = 6.0
+
+# --- guest deployment configuration (§IV) -----------------------------------
+
+DELTA_SECONDS: float = 3600.0
+MIN_EPOCH_HOST_BLOCKS: int = 100_000
+STAKE_UNBONDING_SECONDS: float = 7 * 24 * 3600.0
+
+SECONDS_PER_YEAR: float = 365.25 * 24 * 3600.0
+
+
+def lamports_to_sol(lamports: int) -> float:
+    """Convert integer lamports to a float amount of SOL."""
+    return lamports / LAMPORTS_PER_SOL
+
+
+def sol_to_lamports(sol: float) -> int:
+    """Convert SOL to integer lamports (rounded to nearest lamport)."""
+    return round(sol * LAMPORTS_PER_SOL)
+
+
+def lamports_to_usd(lamports: int) -> float:
+    """Convert lamports to US dollars at the paper's 200 USD/SOL rate."""
+    return lamports_to_sol(lamports) * USD_PER_SOL
+
+
+def usd_to_lamports(usd: float) -> int:
+    """Convert US dollars to lamports at the paper's 200 USD/SOL rate."""
+    return sol_to_lamports(usd / USD_PER_SOL)
+
+
+def lamports_to_cents(lamports: int) -> float:
+    """Convert lamports to US cents (the unit used in Table I and §V-B)."""
+    return lamports_to_usd(lamports) * 100.0
+
+
+def rent_exempt_deposit(data_bytes: int) -> int:
+    """Refundable deposit required to keep an account of ``data_bytes`` alive.
+
+    Mirrors Solana's rent-exemption formula: two years of rent on the data
+    plus a fixed per-account overhead.  For a 10 MiB account this comes to
+    roughly 73 SOL ≈ 14.6 k USD, the figure reported in §V-D.
+    """
+    total_bytes = data_bytes + ACCOUNT_STORAGE_OVERHEAD_BYTES
+    return round(total_bytes * RENT_LAMPORTS_PER_BYTE_YEAR * RENT_EXEMPTION_YEARS)

@@ -1,0 +1,11 @@
+"""Validator actors and the Table I behaviour profiles."""
+
+from repro.validators.profiles import TABLE_I_PROFILES, ValidatorProfile, deployment_profiles
+from repro.validators.node import ValidatorNode
+
+__all__ = [
+    "TABLE_I_PROFILES",
+    "ValidatorNode",
+    "ValidatorProfile",
+    "deployment_profiles",
+]

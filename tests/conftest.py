@@ -1,0 +1,34 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.hashing import Hash
+from repro.ibc.client import LightClient
+
+
+class StaticRootClient(LightClient):
+    """A light client whose consensus states are injected directly.
+
+    Unit tests for the IBC handlers use it to decouple protocol logic
+    from header verification (the real clients are tested separately).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._states: dict[int, tuple[Hash, float]] = {}
+
+    def set_state(self, height: int, root: Hash, timestamp: float = 0.0) -> None:
+        self._states[height] = (root, timestamp)
+
+    def latest_height(self) -> int:
+        return max(self._states, default=0)
+
+    def consensus_root(self, height: int) -> Optional[Hash]:
+        entry = self._states.get(height)
+        return entry[0] if entry else None
+
+    def consensus_timestamp(self, height: int) -> Optional[float]:
+        entry = self._states.get(height)
+        return entry[1] if entry else None

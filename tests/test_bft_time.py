@@ -1,0 +1,140 @@
+"""Tests for the §VI-D BFT-time rule, including the manipulation bound."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.simsig import SimSigScheme
+from repro.errors import GuestError
+from repro.guest.bft_time import (
+    TimeAttestation,
+    attested_block_time,
+    honest_time_bounds,
+    weighted_median_time,
+)
+from repro.guest.epoch import Epoch
+
+
+def make_validators(count, stakes=None):
+    scheme = SimSigScheme()
+    keys = [scheme.keypair_from_seed(bytes([9]) + i.to_bytes(4, "big") + bytes(27)).public_key
+            for i in range(count)]
+    stakes = stakes or [100] * count
+    epoch = Epoch(
+        epoch_id=0,
+        validators=dict(zip(keys, stakes)),
+        quorum_stake=sum(stakes) * 2 // 3 + 1,
+    )
+    return keys, epoch
+
+
+class TestWeightedMedian:
+    def test_odd_unanimous(self):
+        keys, epoch = make_validators(3)
+        attestations = [TimeAttestation(k, 100.0) for k in keys]
+        assert weighted_median_time(attestations, epoch) == 100.0
+
+    def test_simple_median(self):
+        keys, epoch = make_validators(3)
+        attestations = [
+            TimeAttestation(keys[0], 10.0),
+            TimeAttestation(keys[1], 20.0),
+            TimeAttestation(keys[2], 1_000.0),
+        ]
+        assert weighted_median_time(attestations, epoch) == 20.0
+
+    def test_stake_weighting(self):
+        """A whale's clock dominates proportionally to its stake."""
+        keys, epoch = make_validators(3, stakes=[600, 100, 100])
+        attestations = [
+            TimeAttestation(keys[0], 50.0),    # 600 stake
+            TimeAttestation(keys[1], 10.0),
+            TimeAttestation(keys[2], 90.0),
+        ]
+        assert weighted_median_time(attestations, epoch) == 50.0
+
+    def test_non_validators_ignored(self):
+        keys, epoch = make_validators(3)
+        scheme = SimSigScheme()
+        outsider = scheme.keypair_from_seed(bytes([8]) * 32).public_key
+        attestations = [TimeAttestation(k, 100.0) for k in keys]
+        attestations += [TimeAttestation(outsider, 10 ** 9)] * 5
+        assert weighted_median_time(attestations, epoch) == 100.0
+
+    def test_empty_raises(self):
+        _, epoch = make_validators(3)
+        with pytest.raises(GuestError):
+            weighted_median_time([], epoch)
+
+
+class TestMonotonicity:
+    def test_normal_advance(self):
+        keys, epoch = make_validators(3)
+        attestations = [TimeAttestation(k, 200.0) for k in keys]
+        assert attested_block_time(attestations, epoch, parent_time=100.0) == 200.0
+
+    def test_clamped_when_behind_parent(self):
+        keys, epoch = make_validators(3)
+        attestations = [TimeAttestation(k, 50.0) for k in keys]
+        result = attested_block_time(attestations, epoch, parent_time=100.0)
+        assert result == pytest.approx(100.001)
+
+    def test_strictly_increasing_chain(self):
+        keys, epoch = make_validators(3)
+        parent = 0.0
+        for block_time in (10.0, 10.0, 9.0, 30.0):  # includes regressions
+            attestations = [TimeAttestation(k, block_time) for k in keys]
+            new = attested_block_time(attestations, epoch, parent)
+            assert new > parent
+            parent = new
+
+
+class TestManipulationBound:
+    """The §VI-D security claim: an adversary holding less than half of
+    the participating stake cannot push the attested time outside the
+    honest signers' clock range."""
+
+    @given(
+        honest_times=st.lists(st.floats(min_value=1_000.0, max_value=1_060.0),
+                              min_size=3, max_size=8),
+        evil_times=st.lists(st.floats(min_value=0.0, max_value=10_000.0),
+                            min_size=1, max_size=5),
+    )
+    def test_minority_cannot_escape_honest_range(self, honest_times, evil_times):
+        honest_count, evil_count = len(honest_times), len(evil_times)
+        # Honest stake strictly dominates: 100 each vs 50 each for evil,
+        # arranged so evil < half of participating stake.
+        stakes = [100] * honest_count + [
+            max(1, (100 * honest_count - 1) // (2 * evil_count) - 1)
+        ] * evil_count
+        keys, epoch = make_validators(honest_count + evil_count, stakes)
+        honest_keys = set(keys[:honest_count])
+
+        attestations = [
+            TimeAttestation(k, t) for k, t in zip(keys[:honest_count], honest_times)
+        ] + [
+            TimeAttestation(k, t) for k, t in zip(keys[honest_count:], evil_times)
+        ]
+        median = weighted_median_time(attestations, epoch)
+        low, high = honest_time_bounds(attestations, epoch, honest_keys)
+        assert low <= median <= high
+
+    def test_majority_can_lie(self):
+        """Sanity check of the bound's tightness: at >= half stake the
+        adversary does control the median."""
+        keys, epoch = make_validators(2, stakes=[100, 100])
+        attestations = [
+            TimeAttestation(keys[0], 1_000.0),  # honest
+            TimeAttestation(keys[1], 9_999.0),  # adversarial half
+        ]
+        median = weighted_median_time(attestations, epoch)
+        assert median == 1_000.0  # lower median: still honest here...
+        attestations.append(TimeAttestation(keys[1], 9_999.0))
+        # ...but with any extra adversarial weight the median moves out.
+        keys3, epoch3 = make_validators(3, stakes=[100, 100, 100])
+        shifted = [
+            TimeAttestation(keys3[0], 1_000.0),
+            TimeAttestation(keys3[1], 9_999.0),
+            TimeAttestation(keys3[2], 9_999.0),
+        ]
+        assert weighted_median_time(shifted, epoch3) == 9_999.0

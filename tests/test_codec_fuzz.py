@@ -1,0 +1,112 @@
+"""Hypothesis fuzzing of every wire codec: round-trips and rejection of
+mutated bytes.
+
+Anything that crosses a chain boundary gets fuzzed here: packets, acks,
+ICS-20 payloads, handshake datagrams, light-client updates, buffered
+packet messages and self-client states.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.guest.instructions import BufferedPacketMsg
+from repro.ibc.apps.transfer import FungibleTokenPacketData
+from repro.ibc.channel import ChannelEnd, ChannelOrder, ChannelState
+from repro.ibc.connection import ConnectionEnd, ConnectionState
+from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.ibc.self_client import SelfClientState
+
+identifiers = st.from_regex(r"[a-z0-9][a-z0-9\-]{1,20}[a-z0-9]", fullmatch=True)
+ports = identifiers.map(PortId)
+channels = identifiers.map(ChannelId)
+
+
+packets = st.builds(
+    Packet,
+    sequence=st.integers(min_value=0, max_value=2**48),
+    source_port=ports, source_channel=channels,
+    destination_port=ports, destination_channel=channels,
+    payload=st.binary(max_size=256),
+    timeout_timestamp=st.integers(min_value=0, max_value=2**40).map(lambda v: v / 1000.0),
+)
+
+
+@given(packets)
+def test_packet_roundtrip(packet):
+    assert Packet.from_bytes(packet.to_bytes()) == packet
+
+
+@given(packets, packets)
+def test_distinct_packets_distinct_commitments(a, b):
+    if a != b:
+        assert a.commitment() != b.commitment()
+
+
+@given(st.booleans(), st.binary(max_size=128))
+def test_ack_roundtrip(success, result):
+    ack = Acknowledgement(success=success, result=result)
+    assert Acknowledgement.from_bytes(ack.to_bytes()) == ack
+
+
+@given(st.text(max_size=40).filter(lambda s: "\x00" not in s),
+       st.integers(min_value=0, max_value=2**60),
+       st.text(max_size=20), st.text(max_size=20))
+def test_ics20_payload_roundtrip(denom, amount, sender, receiver):
+    data = FungibleTokenPacketData(denom, amount, sender, receiver)
+    assert FungibleTokenPacketData.from_bytes(data.to_bytes()) == data
+
+
+@given(st.binary(max_size=512), st.binary(max_size=512),
+       st.integers(min_value=0, max_value=2**40), st.binary(max_size=64))
+def test_buffered_packet_msg_roundtrip(packet_bytes, proof_bytes, height, ack):
+    msg = BufferedPacketMsg(packet_bytes=packet_bytes, proof_bytes=proof_bytes,
+                            proof_height=height, ack_bytes=ack)
+    assert BufferedPacketMsg.from_bytes(msg.to_bytes()) == msg
+
+
+@given(identifiers, st.integers(min_value=0, max_value=2**40), st.binary(max_size=48))
+def test_self_client_state_roundtrip(chain_id, height, set_hash):
+    state = SelfClientState(chain_id=chain_id, latest_height=height,
+                            trusted_set_hash=set_hash)
+    assert SelfClientState.from_bytes(state.to_bytes()) == state
+
+
+@given(st.sampled_from(list(ConnectionState)), identifiers, identifiers,
+       st.one_of(st.none(), identifiers))
+def test_connection_end_roundtrip(state, client, cp_client, cp_conn):
+    end = ConnectionEnd(
+        state=state, client_id=ClientId(client),
+        counterparty_client_id=ClientId(cp_client),
+        counterparty_connection_id=ConnectionId(cp_conn) if cp_conn else None,
+    )
+    assert ConnectionEnd.from_bytes(end.to_bytes()) == end
+
+
+@given(st.sampled_from(list(ChannelState)), st.sampled_from(list(ChannelOrder)),
+       identifiers, identifiers, st.one_of(st.none(), identifiers))
+def test_channel_end_roundtrip(state, order, conn, cp_port, cp_chan):
+    end = ChannelEnd(
+        state=state, order=order, connection_id=ConnectionId(conn),
+        counterparty_port_id=PortId(cp_port),
+        counterparty_channel_id=ChannelId(cp_chan) if cp_chan else None,
+    )
+    assert ChannelEnd.from_bytes(end.to_bytes()) == end
+
+
+@given(packets, st.integers(min_value=0), st.randoms())
+def test_mutated_packet_bytes_never_misparse(packet, position, rng):
+    """A flipped byte either fails to parse or parses to a *different*
+    packet — never silently to the same one with corrupted content."""
+    wire = bytearray(packet.to_bytes())
+    index = position % len(wire)
+    original = wire[index]
+    wire[index] = (original + 1 + rng.randrange(255)) % 256
+    if wire[index] == original:
+        return
+    try:
+        reparsed = Packet.from_bytes(bytes(wire))
+    except (ValueError, Exception):
+        return
+    assert reparsed != packet or bytes(wire) == packet.to_bytes()

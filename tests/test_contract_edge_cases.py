@@ -1,0 +1,176 @@
+"""Negative-path and edge-case tests for the Guest Contract's chunked
+machinery, evidence handling and event payloads."""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.guest import instructions as ins
+from repro.guest.config import GuestConfig
+from repro.host.fees import BaseFee
+from repro.host.transaction import Instruction, SigVerify, Transaction
+from repro.validators.profiles import simple_profiles
+
+from tests.test_guest_contract import run_tx
+
+
+@pytest.fixture
+def dep():
+    return Deployment(DeploymentConfig(
+        seed=71,
+        guest=GuestConfig(delta_seconds=60.0, min_stake_lamports=1),
+        profiles=simple_profiles(4),
+    ))
+
+
+class TestChunkedLcUpdateGuards:
+    def test_sig_batch_without_precompile_entries_rejected(self, dep):
+        assert run_tx(dep, ins.chunk(5, 0, 1, b"header-ish")).success
+        receipt = run_tx(dep, ins.lc_sig_batch(5))
+        assert not receipt.success
+        assert "no runtime-verified signatures" in receipt.error
+
+    def test_finalize_with_incomplete_buffer_rejected(self, dep):
+        assert run_tx(dep, ins.chunk(6, 0, 2, b"half")).success
+        receipt = run_tx(dep, ins.lc_finalize(6))
+        assert not receipt.success
+        assert "chunks" in receipt.error
+        # The failed finalize consumed the buffer... no: rollback restores
+        # the program state, so the chunk is still there and retryable.
+        assert run_tx(dep, ins.chunk(6, 1, 2, b"rest")).success
+
+    def test_finalize_with_garbage_buffer_rejected(self, dep):
+        assert run_tx(dep, ins.chunk(7, 0, 1, b"\xff" * 40)).success
+        receipt = run_tx(dep, ins.lc_finalize(7))
+        assert not receipt.success
+
+    def test_wrong_message_signatures_filtered_at_finalize(self, dep):
+        """Signatures verified by the runtime over the *wrong* message
+        must not count toward the commit power."""
+        from repro.lightclient.chunked import plan_update_chunks
+        dep.run_for(30.0)  # let the counterparty produce blocks
+        update = dep.counterparty.light_client_update()
+        plan = plan_update_chunks(update, frozenset())
+
+        buffer_id = 9_001
+        for index, chunk_bytes in enumerate(plan.data_chunks):
+            receipt = run_tx(dep, ins.chunk(buffer_id, index, len(plan.data_chunks), chunk_bytes))
+            assert receipt.success
+
+        # Credit signatures over a decoy message (runtime verifies them
+        # fine — they are valid signatures, just not over sign-bytes).
+        signer = dep.scheme.keypair_from_seed(bytes([3]) * 32)
+        decoy = b"not-the-header-sign-bytes"
+        entries = tuple(
+            SigVerify(signer.public_key, decoy, signer.sign(decoy))
+            for _ in range(3)
+        )
+        tx = Transaction(
+            payer=dep.user,
+            instructions=(Instruction(
+                dep.contract.program_id, (dep.contract.state_account,),
+                ins.lc_sig_batch(buffer_id),
+            ),),
+            fee_strategy=BaseFee(),
+            sig_verifies=entries,
+        )
+        results = []
+        dep.host.submit(tx, on_result=results.append)
+        dep.run_for(30.0)
+        assert results[0].success  # crediting is fine...
+
+        receipt = run_tx(dep, ins.lc_finalize(buffer_id))
+        assert not receipt.success  # ...but the power check fails
+        assert "signed power" in receipt.error
+
+    def test_buffers_isolated_per_payer(self, dep):
+        from repro.host.accounts import Address
+        from repro.units import sol_to_lamports
+        other = Address.derive("other-uploader")
+        dep.host.airdrop(other, sol_to_lamports(10.0))
+        assert run_tx(dep, ins.chunk(11, 0, 1, b"mine")).success
+        # A different payer cannot execute (or steal) the first payer's
+        # buffer id — ids are namespaced by owner.
+        receipt = run_tx(dep, ins.recv_exec(11), payer=other)
+        assert not receipt.success
+        assert "unknown buffer" in receipt.error
+
+
+class TestEvidenceEdgeCases:
+    def test_evidence_against_unstaked_key_rejected(self, dep):
+        from repro.guest.block import sign_message
+        nobody = dep.scheme.keypair_from_seed(bytes([44]) * 32)
+        fingerprint = b"\x01" * 32
+        message = sign_message(7, fingerprint)
+        signature = nobody.sign(message)
+        results = []
+        dep.relayer_api.submit_evidence(
+            offender=nobody.public_key, height=7, fingerprint=fingerprint,
+            signature=signature, message=message, on_result=results.append,
+        )
+        dep.run_for(30.0)
+        assert not results[0].success
+        assert "no stake" in results[0].error
+
+    def test_evidence_matching_real_block_rejected(self, dep):
+        """An honest signature over the real block is not an offence."""
+        from repro.guest.block import sign_message
+        dep.run_for(5.0)
+        validator = dep.validators[0].keypair
+        genesis = dep.contract.blocks[0]
+        fingerprint = genesis.header.fingerprint()
+        message = sign_message(0, fingerprint)
+        signature = validator.sign(message)
+        results = []
+        dep.relayer_api.submit_evidence(
+            offender=validator.public_key, height=0, fingerprint=fingerprint,
+            signature=signature, message=message, on_result=results.append,
+        )
+        dep.run_for(30.0)
+        assert not results[0].success
+        assert "no offence" in results[0].error
+
+    def test_fisherman_reward_paid_from_treasury(self, dep):
+        from repro.guest.block import sign_message
+        offender = dep.validators[1].keypair
+        fingerprint = b"\x77" * 32
+        message = sign_message(3, fingerprint)
+        signature = offender.sign(message)
+        balance_before = dep.host.accounts.balance(dep.relayer_payer)
+        results = []
+        dep.relayer_api.submit_evidence(
+            offender=offender.public_key, height=3, fingerprint=fingerprint,
+            signature=signature, message=message, on_result=results.append,
+        )
+        dep.run_for(30.0)
+        assert results[0].success
+        gained = dep.host.accounts.balance(dep.relayer_payer) - balance_before
+        assert gained > 0  # reward exceeded the fee paid
+
+
+class TestEventPayloads:
+    def test_new_block_event_carries_header(self, dep):
+        events = []
+        dep.host.subscribe("NewBlock", events.append)
+        dep.run_for(120.0)  # Δ = 60 s: at least one empty block
+        assert events
+        header = events[0].payload["header"]
+        assert header.height == events[0].payload["height"]
+        assert header.fingerprint()  # well-formed
+
+    def test_finalised_event_carries_signatures_for_the_light_client(self, dep):
+        events = []
+        dep.host.subscribe("FinalisedBlock", events.append)
+        dep.run_for(150.0)
+        assert events
+        payload = events[0].payload
+        header = payload["header"]
+        signatures = payload["signatures"]
+        # The signatures in the event must satisfy the counterparty's
+        # light client directly (this is what the relayer forwards).
+        epoch = dep.contract.epochs[header.epoch_id]
+        message = header.sign_message()
+        valid = [
+            pk for pk, sig in signatures.items()
+            if dep.scheme.verify(pk, message, sig)
+        ]
+        assert epoch.has_quorum(set(valid))

@@ -1,0 +1,77 @@
+"""Unit tests for repro.crypto.hashing."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import Hash, hash_bytes, hash_concat, merkle_root
+
+
+class TestHash:
+    def test_of_matches_sha256(self):
+        assert Hash.of(b"hello").value == hashlib.sha256(b"hello").digest()
+
+    def test_zero_is_32_zero_bytes(self):
+        assert Hash.zero().value == bytes(32)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Hash(b"short")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ValueError):
+            Hash("0" * 64)  # type: ignore[arg-type]
+
+    def test_equality_and_hashability(self):
+        a = Hash.of(b"x")
+        b = Hash.of(b"x")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_bytes_roundtrip(self):
+        h = Hash.of(b"data")
+        assert Hash(bytes(h)) == h
+
+    def test_hex_and_short(self):
+        h = Hash.of(b"data")
+        assert h.hex() == h.value.hex()
+        assert h.hex().startswith(h.short())
+
+
+class TestHashConcat:
+    def test_deterministic(self):
+        assert hash_concat(b"a", b"b") == hash_concat(b"a", b"b")
+
+    def test_split_resistant(self):
+        # Length prefixes must make different splits hash differently.
+        assert hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")
+
+    def test_accepts_hash_parts(self):
+        h = hash_bytes(b"inner")
+        assert hash_concat(h, b"x") == hash_concat(bytes(h), b"x")
+
+    def test_order_matters(self):
+        assert hash_concat(b"a", b"b") != hash_concat(b"b", b"a")
+
+
+class TestMerkleRoot:
+    def test_empty_is_zero(self):
+        assert merkle_root([]) == Hash.zero()
+
+    def test_single_leaf_not_raw_hash(self):
+        # Domain separation: leaf hashing differs from plain sha256.
+        root = merkle_root([b"leaf"])
+        assert root.value != hashlib.sha256(b"leaf").digest()
+
+    def test_order_sensitivity(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_odd_leaf_count(self):
+        # Three leaves must produce a root distinct from two or four.
+        r3 = merkle_root([b"a", b"b", b"c"])
+        r2 = merkle_root([b"a", b"b"])
+        assert r3 != r2
+
+    def test_deterministic(self):
+        leaves = [bytes([i]) * 4 for i in range(7)]
+        assert merkle_root(leaves) == merkle_root(leaves)

@@ -1,0 +1,133 @@
+"""Unit tests for both signature schemes behind the shared interface."""
+
+import pytest
+
+from repro.crypto.ed25519 import Ed25519Scheme, seed_to_public_key, sign, verify
+from repro.crypto.keys import PublicKey, Signature
+from repro.crypto.simsig import SimSigScheme
+from repro.errors import InvalidKeyError
+
+# RFC 8032 test vector 1 (empty message).
+RFC_SEED = bytes.fromhex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+RFC_PUBLIC = bytes.fromhex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+RFC_SIG = bytes.fromhex(
+    "e5564300c360ac729086e2cc806e828a"
+    "84877f1eb8e5d974d873e06522490155"
+    "5fb8821590a33bacc61e39701cf9b46b"
+    "d25bf5f0595bbe24655141438e7a100b"
+)
+
+# RFC 8032 test vector 2 (one-byte message 0x72).
+RFC2_SEED = bytes.fromhex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+RFC2_PUBLIC = bytes.fromhex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+RFC2_MSG = bytes.fromhex("72")
+RFC2_SIG = bytes.fromhex(
+    "92a009a9f0d4cab8720e820b5f642540"
+    "a2b27b5416503f8fb3762223ebdb69da"
+    "085ac1e43e15996e458f3613d0f11d8c"
+    "387b2eaeb4302aeeb00d291612bb0c00"
+)
+
+
+class TestEd25519Rfc8032:
+    def test_vector1_public_key(self):
+        assert seed_to_public_key(RFC_SEED) == RFC_PUBLIC
+
+    def test_vector1_signature(self):
+        assert sign(RFC_SEED, b"") == RFC_SIG
+
+    def test_vector1_verifies(self):
+        assert verify(RFC_PUBLIC, b"", RFC_SIG)
+
+    def test_vector2_public_key(self):
+        assert seed_to_public_key(RFC2_SEED) == RFC2_PUBLIC
+
+    def test_vector2_signature(self):
+        assert sign(RFC2_SEED, RFC2_MSG) == RFC2_SIG
+
+    def test_vector2_verifies(self):
+        assert verify(RFC2_PUBLIC, RFC2_MSG, RFC2_SIG)
+
+    def test_wrong_message_rejected(self):
+        assert not verify(RFC_PUBLIC, b"tampered", RFC_SIG)
+
+    def test_corrupted_signature_rejected(self):
+        bad = bytearray(RFC_SIG)
+        bad[0] ^= 1
+        assert not verify(RFC_PUBLIC, b"", bytes(bad))
+
+    def test_wrong_key_rejected(self):
+        assert not verify(RFC2_PUBLIC, b"", RFC_SIG)
+
+    def test_malformed_inputs_rejected(self):
+        assert not verify(b"short", b"", RFC_SIG)
+        assert not verify(RFC_PUBLIC, b"", b"short")
+
+    def test_seed_length_enforced(self):
+        with pytest.raises(InvalidKeyError):
+            seed_to_public_key(b"short")
+
+
+@pytest.fixture(params=["ed25519", "simsig"])
+def scheme(request):
+    if request.param == "ed25519":
+        return Ed25519Scheme()
+    return SimSigScheme()
+
+
+class TestSchemeInterface:
+    """Both schemes must behave identically through the interface."""
+
+    def test_deterministic_keypair(self, scheme):
+        seed = bytes(range(32))
+        a = scheme.keypair_from_seed(seed)
+        b = scheme.keypair_from_seed(seed)
+        assert a.public_key == b.public_key
+
+    def test_distinct_seeds_distinct_keys(self, scheme):
+        a = scheme.keypair_from_seed(bytes(32))
+        b = scheme.keypair_from_seed(bytes(31) + b"\x01")
+        assert a.public_key != b.public_key
+
+    def test_sign_verify_roundtrip(self, scheme):
+        kp = scheme.keypair_from_seed(bytes(range(32)))
+        sig = kp.sign(b"guest block 7")
+        assert scheme.verify(kp.public_key, b"guest block 7", sig)
+
+    def test_wrong_message_fails(self, scheme):
+        kp = scheme.keypair_from_seed(bytes(range(32)))
+        sig = kp.sign(b"message")
+        assert not scheme.verify(kp.public_key, b"other", sig)
+
+    def test_wrong_key_fails(self, scheme):
+        kp1 = scheme.keypair_from_seed(bytes(range(32)))
+        kp2 = scheme.keypair_from_seed(bytes(reversed(range(32))))
+        sig = kp1.sign(b"message")
+        assert not scheme.verify(kp2.public_key, b"message", sig)
+
+    def test_corrupted_signature_fails(self, scheme):
+        kp = scheme.keypair_from_seed(bytes(range(32)))
+        sig = kp.sign(b"message")
+        corrupted = bytearray(bytes(sig))
+        corrupted[10] ^= 0xFF
+        assert not scheme.verify(kp.public_key, b"message", Signature(bytes(corrupted)))
+
+    def test_seed_length_enforced(self, scheme):
+        with pytest.raises(InvalidKeyError):
+            scheme.keypair_from_seed(b"too-short")
+
+
+class TestSimSigIsolation:
+    def test_unknown_public_key_fails(self):
+        scheme = SimSigScheme()
+        other = SimSigScheme()
+        kp = scheme.keypair_from_seed(bytes(range(32)))
+        sig = kp.sign(b"msg")
+        # A different scheme instance has no registry entry for this key.
+        assert not other.verify(kp.public_key, b"msg", sig)
+
+    def test_value_types_reject_bad_lengths(self):
+        with pytest.raises(ValueError):
+            PublicKey(b"short")
+        with pytest.raises(ValueError):
+            Signature(b"short")

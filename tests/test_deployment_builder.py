@@ -1,0 +1,99 @@
+"""Tests for the deployment builder's wiring invariants and the CLI."""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig, build
+from repro.guest.config import GuestConfig
+from repro.units import rent_exempt_deposit, sol_to_lamports
+from repro.validators.profiles import simple_profiles
+
+
+@pytest.fixture(scope="module")
+def dep():
+    return Deployment(DeploymentConfig(
+        seed=131,
+        guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+        profiles=simple_profiles(4),
+    ))
+
+
+class TestDeploymentWiring:
+    def test_state_account_allocated_with_deposit(self, dep):
+        account = dep.host.accounts.get(dep.contract.state_account)
+        assert account is not None
+        assert account.size == dep.config.guest.state_account_bytes
+        assert account.lamports == rent_exempt_deposit(account.size)
+        assert account.owner == dep.contract.program_id
+
+    def test_genesis_block_finalised(self, dep):
+        genesis = dep.contract.blocks[0]
+        assert genesis.height == 0
+        assert genesis.finalised
+        assert dep.contract.initialized
+
+    def test_epoch_zero_from_genesis_bonds(self, dep):
+        epoch = dep.contract.epochs[0]
+        assert len(epoch) == 4
+        for node in dep.validators:
+            assert epoch.is_validator(node.keypair.public_key)
+
+    def test_treasury_covers_bonded_stake(self, dep):
+        bonded = sum(
+            dep.contract.staking.stake_of(node.keypair.public_key)
+            for node in dep.validators
+        )
+        assert dep.host.accounts.balance(dep.contract.treasury) >= bonded
+
+    def test_guest_client_tracks_epoch_zero(self, dep):
+        assert dep.guest_client.epoch.epoch_id == 0
+        assert dep.guest_client.epoch.canonical_hash() == (
+            dep.contract.epochs[0].canonical_hash()
+        )
+
+    def test_actors_funded(self, dep):
+        for payer in (dep.relayer_payer, dep.cranker_payer, dep.user):
+            assert dep.host.accounts.balance(payer) > sol_to_lamports(1.0)
+
+    def test_build_helper_defaults(self):
+        deployment = build()
+        assert len(deployment.validators) == 4
+
+    def test_validator_keypair_lookup(self, dep):
+        keypair = dep.validator_keypair(1)
+        assert keypair is dep.validators[0].keypair
+        with pytest.raises(KeyError):
+            dep.validator_keypair(99)
+
+    def test_establish_link_times_out_cleanly(self):
+        """With silent validators nothing can finalise: establish_link
+        must fail loudly rather than hang."""
+        import dataclasses
+        from repro.errors import SimulationError
+        profiles = [dataclasses.replace(p, silent=True) for p in simple_profiles(3)]
+        deployment = Deployment(DeploymentConfig(
+            seed=132,
+            guest=GuestConfig(delta_seconds=60.0, min_stake_lamports=1),
+            profiles=profiles,
+        ))
+        with pytest.raises(SimulationError):
+            deployment.establish_link(max_seconds=300.0)
+
+
+class TestCli:
+    def test_storage_target(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "Storage costs" in out
+        assert "72 thousand" in out
+
+    def test_unknown_target_rejected(self):
+        from repro.experiments.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_short_evaluation_target(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--duration-hours", "0.5", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "priority-fee cluster" in out

@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment harness itself (tiny configurations).
+
+The benchmarks run the full-size experiments; these tests make the
+harness code part of the ordinary suite with small/fast parameters, and
+pin the properties the renderers rely on (fields present, counts sane,
+determinism under a seed).
+"""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.ablations import (
+    adaptive_fee_comparison,
+    delta_sweep,
+    fee_strategy_tradeoff,
+    quorum_sweep,
+)
+from repro.experiments.blocks import BlockIntervalConfig, BlockIntervalRun
+from repro.experiments.evaluation import EvaluationConfig, EvaluationRun
+from repro.experiments.lightclient_cost import light_client_cost_comparison
+from repro.experiments.storage import measure_capacity, sealing_ablation
+
+
+@pytest.fixture(scope="module")
+def small_evaluation():
+    return EvaluationRun(EvaluationConfig(
+        seed=123,
+        duration=2 * 3600.0,
+        send_mean_gap=300.0,
+        cp_send_mean_gap=600.0,
+        outage_seconds=300.0,
+    )).execute()
+
+
+class TestEvaluationHarness:
+    def test_sends_recorded_with_latency_and_cost(self, small_evaluation):
+        assert len(small_evaluation.sends) >= 10
+        assert small_evaluation.send_latencies()
+        assert small_evaluation.send_costs_usd()
+        for record in small_evaluation.sends:
+            if record.latency is not None:
+                assert record.latency > 0
+
+    def test_both_strategies_present(self, small_evaluation):
+        strategies = {r.strategy for r in small_evaluation.sends}
+        assert strategies == {"priority", "bundle"}
+
+    def test_lc_updates_have_consistent_fields(self, small_evaluation):
+        for update in small_evaluation.lc_updates:
+            assert update.transaction_count >= 3
+            assert update.latency >= 0
+            if update.success:
+                assert update.signature_count > 0
+
+    def test_validator_rows_cover_the_set(self, small_evaluation):
+        assert len(small_evaluation.validator_rows) == 17
+        assert small_evaluation.silent_validators == 7
+
+    def test_renderers_produce_text(self, small_evaluation):
+        for renderer in (report.render_fig2, report.render_fig3,
+                         report.render_fig4, report.render_fig5,
+                         report.render_receive_packet, report.render_table1):
+            text = renderer(small_evaluation)
+            assert isinstance(text, str) and len(text) > 40
+
+    def test_deterministic_under_seed(self):
+        def run():
+            results = EvaluationRun(EvaluationConfig(
+                seed=321, duration=1_800.0, send_mean_gap=200.0,
+                cp_send_mean_gap=900.0, outage_seconds=120.0,
+            )).execute()
+            return (len(results.sends),
+                    tuple(round(l, 6) for l in results.send_latencies()),
+                    tuple(u.transaction_count for u in results.lc_updates))
+
+        assert run() == run()
+
+
+class TestBlockIntervalHarness:
+    def test_small_run(self):
+        results = BlockIntervalRun(BlockIntervalConfig(
+            seed=7, duration=6 * 3600.0, delta_seconds=900.0,
+            send_mean_gap=650.0, outage_seconds=600.0,
+        )).execute()
+        assert results.total_blocks > 5
+        assert len(results.intervals) == results.total_blocks - 1
+        # With gap 650 s and Delta 900 s, both regimes appear.
+        assert results.at_delta_cutoff >= 1
+        assert any(i < 900.0 for i in results.intervals)
+        text = report.render_fig6(results)
+        assert "cut-off" in text
+
+
+class TestStorageHarness:
+    def test_capacity_fields(self):
+        capacity = measure_capacity(sample=2_000)
+        assert capacity.pairs_in_account > 50_000
+        assert 50 < capacity.bytes_per_pair < 200
+        assert capacity.deposit_usd > 10_000
+
+    def test_ablation_trajectories_aligned(self):
+        results = sealing_ablation(packets=600, live_window=32, sample_every=50)
+        assert len(results.sealed_bytes_trajectory) == len(results.plain_bytes_trajectory)
+        assert results.growth_ratio > 3
+
+
+class TestAblationHarnesses:
+    def test_delta_sweep_small(self):
+        points = delta_sweep(deltas=(300.0, 1_200.0), duration=2 * 3600.0,
+                             send_mean_gap=1_500.0)
+        assert len(points) == 2
+        small, large = points
+        assert small.blocks >= large.blocks
+
+    def test_fee_tradeoff_small(self):
+        points = fee_strategy_tradeoff(congestion=0.6, samples=40)
+        names = {p.name for p in points}
+        assert names == {"base", "priority", "bundle"}
+
+    def test_adaptive_fee_small(self):
+        points = adaptive_fee_comparison(congestion_levels=(0.2,), samples=30)
+        (point,) = points
+        assert point.adaptive_cost_usd < point.fixed_cost_usd
+
+    def test_quorum_sweep_small(self):
+        from fractions import Fraction
+        points = quorum_sweep(fractions=(Fraction(2, 3),), validators=6,
+                              duration=1_800.0)
+        (point,) = points
+        assert point.finalisation_latency.count > 2
+
+    def test_lightclient_cost_small(self):
+        guest, tendermint = light_client_cost_comparison(
+            guest_validators=10, tendermint_validators=60, headers=5,
+        )
+        assert guest.signatures_verified == 10
+        assert tendermint.signatures_verified == 60
+        assert guest.update_bytes < tendermint.update_bytes

@@ -1,0 +1,95 @@
+"""Unit tests for the Fisherman's decision logic and report bookkeeping."""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.fisherman.evidence import GOSSIP_TOPIC, BlockClaim, ByzantineValidator
+from repro.guest.block import sign_message
+from repro.guest.config import GuestConfig
+from repro.validators.profiles import simple_profiles
+
+
+@pytest.fixture
+def dep():
+    config = DeploymentConfig(
+        seed=201,
+        guest=GuestConfig(delta_seconds=60.0, min_stake_lamports=1),
+        profiles=simple_profiles(4),
+        with_fisherman=True,
+    )
+    deployment = Deployment(config)
+    deployment.run_for(20.0)
+    return deployment
+
+
+class TestOffenceClassification:
+    def claim(self, dep, keypair, height, fingerprint):
+        return BlockClaim(
+            validator=keypair.public_key, height=height, fingerprint=fingerprint,
+            signature=keypair.sign(sign_message(height, fingerprint)),
+        )
+
+    def test_conflicting_block_is_offence(self, dep):
+        validator = dep.validators[0].keypair
+        claim = self.claim(dep, validator, 0, b"\x99" * 32)
+        assert dep.fisherman._is_offence(claim)
+
+    def test_above_head_is_offence(self, dep):
+        validator = dep.validators[0].keypair
+        claim = self.claim(dep, validator, 500, b"\x01" * 32)
+        assert dep.fisherman._is_offence(claim)
+
+    def test_honest_claim_is_not(self, dep):
+        validator = dep.validators[0].keypair
+        genuine = dep.contract.blocks[0].header.fingerprint()
+        claim = self.claim(dep, validator, 0, genuine)
+        assert not dep.fisherman._is_offence(claim)
+
+    def test_same_claim_prosecuted_once(self, dep):
+        offender = dep.validators[1].keypair
+        claim = self.claim(dep, offender, 0, b"\x42" * 32)
+        dep.gossip.publish(GOSSIP_TOPIC, claim)
+        dep.gossip.publish(GOSSIP_TOPIC, claim)  # duplicate gossip
+        dep.run_for(60.0)
+        assert len(dep.fisherman.reports) == 1
+        assert dep.fisherman.reports[0].accepted
+
+    def test_unstaked_gossiper_ignored(self, dep):
+        nobody = dep.scheme.keypair_from_seed(bytes([13]) * 32)
+        claim = self.claim(dep, nobody, 3, b"\x42" * 32)
+        dep.gossip.publish(GOSSIP_TOPIC, claim)
+        dep.run_for(60.0)
+        assert not dep.fisherman.reports  # nothing to slash, no report
+
+
+class TestByzantineActor:
+    def test_equivocate_publishes_conflicting_claim(self, dep):
+        byz = ByzantineValidator(dep.sim, dep.gossip, dep.validators[2].keypair)
+        claim = byz.equivocate(height=0)
+        assert claim.fingerprint != dep.contract.blocks[0].header.fingerprint()
+        assert byz.claims_made == [claim]
+        # The claim's signature genuinely verifies (a real equivocation,
+        # not garbage the contract would reject on signature grounds).
+        assert dep.scheme.verify(
+            claim.validator, claim.message(), claim.signature,
+        )
+
+    def test_hooked_byzantine_forges_above_head(self, dep):
+        byz = ByzantineValidator(dep.sim, dep.gossip,
+                                 dep.validators[2].keypair, forge_above_head=True)
+        dep.host.subscribe("NewBlock", byz.on_new_block)
+        dep.run_for(120.0)  # Δ block triggers the hook
+        assert byz.claims_made
+        assert all(c.height > dep.contract.head.height - 3 for c in byz.claims_made)
+
+    def test_full_pipeline_slashes_and_ejects(self, dep):
+        offender = dep.validators[2]
+        stake_before = dep.contract.staking.stake_of(offender.keypair.public_key)
+        byz = ByzantineValidator(dep.sim, dep.gossip, offender.keypair)
+        byz.equivocate(height=0)
+        dep.run_for(60.0)
+        assert dep.contract.staking.stake_of(offender.keypair.public_key) == 0
+        assert dep.contract.staking.slashed_total == stake_before // 2
+        # Ejected: the next epoch selection excludes the offender.
+        epoch = dep.contract.staking.select_epoch(epoch_id=99)
+        assert not epoch.is_validator(offender.keypair.public_key)

@@ -1,0 +1,147 @@
+"""Golden vectors: the commitment scheme, pinned.
+
+Every hash here anchors the wire/commitment format: light clients on
+*other* chains must recompute these exact values, so any change to the
+trie's node hashing, the packet commitment, the epoch hash or the block
+fingerprint is a consensus break.  If one of these tests fails, you have
+changed the protocol — bump it consciously, never casually.
+"""
+
+import hashlib
+
+from repro.crypto.hashing import Hash, hash_concat, merkle_root
+from repro.crypto.simsig import SimSigScheme
+from repro.guest.block import GuestBlockHeader, sign_message
+from repro.guest.epoch import Epoch
+from repro.ibc.identifiers import ChannelId, PortId
+from repro.ibc.packet import Acknowledgement, Packet
+from repro.trie import SealableTrie
+from repro.trie.store import ProvableStore, path_key, seq_key
+
+
+class TestHashingVectors:
+    def test_hash_concat(self):
+        assert hash_concat(b"x", b"y").hex() == (
+            "134dc4d08f99ce0e5d2cfccbe1dae2c1e52caea62add95f8bf142cfe6e39e5e4"
+        )
+
+    def test_merkle_root(self):
+        assert merkle_root([b"a", b"b", b"c"]).hex() == (
+            "e9636069c740c9ff51625b01a0b040396d265a9b920cc6febdfa5ecc9f58ecce"
+        )
+
+
+class TestTrieVectors:
+    def build(self):
+        trie = SealableTrie()
+        for index in range(16):
+            key = hashlib.sha256(index.to_bytes(4, "big")).digest()
+            trie.set(key, f"value-{index}".encode())
+        return trie
+
+    def test_sixteen_entry_root(self):
+        assert self.build().root_hash.hex() == (
+            "e36aa5ae6f2d99a85bf2494492cefa89d85b4c15e6bec0239fb43cc9b1dd7df7"
+        )
+
+    def test_seal_is_root_neutral(self):
+        trie = self.build()
+        trie.seal(hashlib.sha256((0).to_bytes(4, "big")).digest())
+        assert trie.root_hash.hex() == (
+            "e36aa5ae6f2d99a85bf2494492cefa89d85b4c15e6bec0239fb43cc9b1dd7df7"
+        )
+
+    def test_delete_root(self):
+        trie = self.build()
+        trie.seal(hashlib.sha256((0).to_bytes(4, "big")).digest())
+        trie.delete(hashlib.sha256((5).to_bytes(4, "big")).digest())
+        assert trie.root_hash.hex() == (
+            "f7570069b9438b5ef7337e8154ebd1b77d4606ebce3c8b9d623b3720f97ce7ff"
+        )
+
+
+class TestStoreVectors:
+    def test_store_root(self):
+        store = ProvableStore()
+        store.set("connections/connection-0", b"conn")
+        store.set_seq("commitments/ports/transfer/channels/channel-0", 3, b"\xaa" * 32)
+        assert store.root_hash.hex() == (
+            "1824f1c56a3080e50477d70462a3148f397732fc979e0df7ab9a5bb53eac23dc"
+        )
+
+    def test_path_key(self):
+        assert path_key("clients/client-0/clientState").hex() == (
+            "83c641c82009cc4b8ffeae75a9bc2114dabd8d60196a8cdb957284b49f3cb5e8"
+        )
+
+    def test_seq_key_layout(self):
+        key = seq_key("receipts/ports/transfer/channels/channel-0", 7)
+        assert key.hex() == (
+            "35d25534a57ebcbcc0194357d27243443f69f3d0a7f3c8800000000000000007"
+        )
+        # 24-byte hashed prefix, 8-byte big-endian sequence.
+        assert key[24:] == (7).to_bytes(8, "big")
+
+
+class TestIbcVectors:
+    def packet(self):
+        return Packet(5, PortId("transfer"), ChannelId("channel-0"),
+                      PortId("transfer"), ChannelId("channel-1"),
+                      b"payload", 123.456)
+
+    def test_packet_commitment(self):
+        assert self.packet().commitment().hex() == (
+            "1dd5c2aa4424b0242941d629eb3e152e51d2facbed912e508b29acae65d6eef6"
+        )
+
+    def test_packet_wire_bytes(self):
+        assert self.packet().to_bytes().hex() == (
+            "05087472616e73666572096368616e6e656c2d30087472616e73666572"
+            "096368616e6e656c2d31077061796c6f6164c0c407"
+        )
+
+    def test_ack_commitment(self):
+        assert Acknowledgement.ok(b"res").commitment().hex() == (
+            "9bd7a04d838c8469f03480afbad6fe553af729dc414aec28b4ba29bfd45bd7cd"
+        )
+
+
+class TestGuestVectors:
+    def epoch(self):
+        scheme = SimSigScheme()
+        keypairs = [
+            scheme.keypair_from_seed(bytes([9]) + i.to_bytes(4, "big") + bytes(27))
+            for i in range(3)
+        ]
+        return Epoch(
+            epoch_id=2,
+            validators={kp.public_key: 100 * (i + 1) for i, kp in enumerate(keypairs)},
+            quorum_stake=401,
+        )
+
+    def test_epoch_hash(self):
+        assert self.epoch().canonical_hash().hex() == (
+            "6da71c731032ed3e939a18b53e574256333a3a7ab7207cb47b49c23544fd6ef1"
+        )
+
+    def test_block_fingerprint(self):
+        epoch = self.epoch()
+        header = GuestBlockHeader(
+            height=9, prev_hash=Hash.of(b"parent"), timestamp=1234.5,
+            host_slot=3086, state_root=Hash.of(b"state"), epoch_id=2,
+            epoch_hash=epoch.canonical_hash(),
+            packet_hashes=(Hash.of(b"p1"), Hash.of(b"p2")),
+            last_in_epoch=True, next_epoch_hash=Hash.of(b"next"),
+        )
+        assert header.fingerprint().hex() == (
+            "ece8288a6908c3a39975e9bcb1d9f39b740c440b68f7b480bf72db200ba25885"
+        )
+
+    def test_sign_message_layout(self):
+        fingerprint = bytes.fromhex(
+            "ece8288a6908c3a39975e9bcb1d9f39b740c440b68f7b480bf72db200ba25885"
+        )
+        message = sign_message(9, fingerprint)
+        assert message[:10] == b"guest-sign"
+        assert message[10:18] == (9).to_bytes(8, "big")
+        assert message[18:] == fingerprint

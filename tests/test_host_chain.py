@@ -1,0 +1,377 @@
+"""Unit and integration tests for the Solana-like host chain simulator."""
+
+import pytest
+
+from repro.crypto.simsig import SimSigScheme
+from repro.errors import (
+    AccountSizeError,
+    ComputeBudgetExceededError,
+    HostError,
+    InsufficientFundsError,
+    ProgramError,
+    TransactionTooLargeError,
+)
+from repro.host import (
+    Address,
+    BaseFee,
+    BundleFee,
+    HostChain,
+    HostConfig,
+    Instruction,
+    InvokeContext,
+    PriorityFee,
+    Program,
+    SigVerify,
+    Transaction,
+)
+from repro.sim import Simulation
+from repro.units import (
+    BASE_FEE_LAMPORTS_PER_SIGNATURE,
+    MAX_ACCOUNT_BYTES,
+    MAX_TRANSACTION_BYTES,
+    lamports_to_usd,
+    rent_exempt_deposit,
+    sol_to_lamports,
+)
+
+PAYER = Address.derive("payer")
+
+
+class CounterProgram(Program):
+    """Test program: counts invocations in an account's first byte; can be
+    told to fail or to burn compute."""
+
+    def __init__(self):
+        self._id = Address.derive("counter-program")
+
+    @property
+    def program_id(self) -> Address:
+        return self._id
+
+    def execute(self, ctx: InvokeContext, data: bytes) -> None:
+        if data == b"fail":
+            raise ProgramError("told to fail")
+        if data == b"burn":
+            ctx.meter.charge(10_000_000)
+        account = ctx.account(ctx.instruction_accounts[0])
+        if not account.data:
+            account.data = bytearray(8)
+        account.data[0] += 1
+        ctx.emit("Counted", value=account.data[0])
+
+
+@pytest.fixture
+def env():
+    sim = Simulation(seed=3)
+    chain = HostChain(sim, SimSigScheme(), HostConfig())
+    chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+    program = CounterProgram()
+    chain.deploy(program)
+    state = Address.derive("counter-state")
+    return sim, chain, program, state
+
+
+def make_tx(program, state, data=b"tick", fee=BaseFee(), budget=200_000):
+    return Transaction(
+        payer=PAYER,
+        instructions=(Instruction(program.program_id, (state,), data),),
+        fee_strategy=fee,
+        compute_budget=budget,
+    )
+
+
+class TestExecution:
+    def test_successful_execution_mutates_state(self, env):
+        sim, chain, program, state = env
+        results = []
+        chain.submit(make_tx(program, state), on_result=results.append)
+        sim.run_until(30.0)
+        assert len(results) == 1
+        assert results[0].success
+        assert chain.accounts.account(state).data[0] == 1
+
+    def test_failed_program_rolls_back(self, env):
+        sim, chain, program, state = env
+        results = []
+        chain.submit(make_tx(program, state), on_result=results.append)
+        sim.run_until(30.0)
+        chain.submit(make_tx(program, state, data=b"fail"), on_result=results.append)
+        sim.run_until(60.0)
+        assert [r.success for r in results] == [True, False]
+        assert chain.accounts.account(state).data[0] == 1  # unchanged
+
+    def test_fee_charged_even_on_failure(self, env):
+        sim, chain, program, state = env
+        balance_before = chain.accounts.balance(PAYER)
+        results = []
+        chain.submit(make_tx(program, state, data=b"fail"), on_result=results.append)
+        sim.run_until(30.0)
+        assert results[0].fee_paid == BASE_FEE_LAMPORTS_PER_SIGNATURE
+        assert chain.accounts.balance(PAYER) == balance_before - BASE_FEE_LAMPORTS_PER_SIGNATURE
+
+    def test_compute_budget_enforced(self, env):
+        sim, chain, program, state = env
+        results = []
+        chain.submit(make_tx(program, state, data=b"burn"), on_result=results.append)
+        sim.run_until(30.0)
+        assert not results[0].success
+        assert "CU" in results[0].error
+
+    def test_oversized_transaction_rejected_at_submit(self, env):
+        sim, chain, program, state = env
+        big = make_tx(program, state, data=b"x" * MAX_TRANSACTION_BYTES)
+        with pytest.raises(TransactionTooLargeError):
+            chain.submit(big)
+
+    def test_size_cap_is_1232(self):
+        assert MAX_TRANSACTION_BYTES == 1232
+
+    def test_unknown_program_fails_tx(self, env):
+        sim, chain, program, state = env
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(Address.derive("nowhere"), (), b""),),
+            fee_strategy=BaseFee(),
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert not results[0].success
+
+    def test_insufficient_fee_balance(self, env):
+        sim, chain, program, state = env
+        poor = Address.derive("poor")
+        tx = Transaction(
+            payer=poor,
+            instructions=(Instruction(program.program_id, (state,), b"tick"),),
+            fee_strategy=BaseFee(),
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert not results[0].success
+        assert results[0].fee_paid == 0
+
+    def test_events_delivered_to_subscribers(self, env):
+        sim, chain, program, state = env
+        seen = []
+        chain.subscribe("Counted", seen.append)
+        chain.submit(make_tx(program, state))
+        sim.run_until(30.0)
+        assert len(seen) == 1
+        assert seen[0].payload["value"] == 1
+
+    def test_slots_advance(self, env):
+        sim, chain, program, state = env
+        sim.run_until(4.0)
+        assert chain.slot == 10  # 4 s of 0.4 s slots
+
+
+class TestSigVerifyPrecompile:
+    def test_valid_signature_exposed_to_program(self, env):
+        sim, chain, program, state = env
+        scheme = chain.scheme
+        keypair = scheme.keypair_from_seed(bytes(range(32)))
+        message = b"block fingerprint"
+        captured = {}
+
+        class Inspector(Program):
+            @property
+            def program_id(self):
+                return Address.derive("inspector")
+
+            def execute(self, ctx, data):
+                captured["ok"] = ctx.is_signature_verified(keypair.public_key, message)
+
+        inspector = Inspector()
+        chain.deploy(inspector)
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(inspector.program_id, (), b""),),
+            fee_strategy=BaseFee(),
+            sig_verifies=(SigVerify(keypair.public_key, message, keypair.sign(message)),),
+        )
+        chain.submit(tx)
+        sim.run_until(30.0)
+        assert captured["ok"] is True
+
+    def test_invalid_signature_fails_whole_tx(self, env):
+        sim, chain, program, state = env
+        scheme = chain.scheme
+        keypair = scheme.keypair_from_seed(bytes(range(32)))
+        other = scheme.keypair_from_seed(bytes(32))
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(program.program_id, (state,), b"tick"),),
+            fee_strategy=BaseFee(),
+            sig_verifies=(SigVerify(other.public_key, b"msg", keypair.sign(b"msg")),),
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert not results[0].success
+        assert chain.accounts.account(state).data == bytearray()
+
+    def test_each_verify_costs_a_signature_fee(self, env):
+        """§V-B: 0.1 ¢ per transaction plus 0.1 ¢ per verified signature."""
+        sim, chain, program, state = env
+        scheme = chain.scheme
+        keypair = scheme.keypair_from_seed(bytes(range(32)))
+        entries = tuple(
+            SigVerify(keypair.public_key, bytes([i]), keypair.sign(bytes([i])))
+            for i in range(3)
+        )
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(program.program_id, (state,), b"tick"),),
+            fee_strategy=BaseFee(),
+            sig_verifies=entries,
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert results[0].fee_paid == 4 * BASE_FEE_LAMPORTS_PER_SIGNATURE
+
+
+class TestFees:
+    def test_priority_fee_amount(self, env):
+        sim, chain, program, state = env
+        fee = PriorityFee(compute_unit_price=5_000_000)
+        tx = make_tx(program, state, fee=fee, budget=1_400_000)
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        expected = BASE_FEE_LAMPORTS_PER_SIGNATURE + 7_000_000
+        assert results[0].fee_paid == expected
+        # ≈ 1.40 USD, the Fig. 3 priority cluster.
+        assert lamports_to_usd(expected) == pytest.approx(1.40, abs=0.01)
+
+    def test_bundle_tip_paid_once(self, env):
+        sim, chain, program, state = env
+        txs = [make_tx(program, state) for _ in range(3)]
+        results = []
+        chain.submit_bundle(txs, tip_lamports=15_090_000, on_result=results.append)
+        sim.run_until(30.0)
+        (receipts,) = results
+        fees = sorted(r.fee_paid for r in receipts)
+        assert fees[0] == BASE_FEE_LAMPORTS_PER_SIGNATURE
+        assert fees[-1] == BASE_FEE_LAMPORTS_PER_SIGNATURE + 15_090_000
+
+    def test_bundle_lands_in_single_block(self, env):
+        """§V-A: all ReceivePacket transactions land in one block."""
+        sim, chain, program, state = env
+        txs = [make_tx(program, state) for _ in range(5)]
+        results = []
+        chain.submit_bundle(txs, tip_lamports=1_000, on_result=results.append)
+        sim.run_until(30.0)
+        (receipts,) = results
+        assert len({r.slot for r in receipts}) == 1
+        assert all(r.success for r in receipts)
+        assert chain.accounts.account(state).data[0] == 5
+
+    def test_bundle_atomic_failure(self, env):
+        sim, chain, program, state = env
+        txs = [
+            make_tx(program, state),
+            make_tx(program, state, data=b"fail"),
+            make_tx(program, state),
+        ]
+        results = []
+        chain.submit_bundle(txs, tip_lamports=1_000, on_result=results.append)
+        sim.run_until(30.0)
+        (receipts,) = results
+        assert not any(r.success for r in receipts)
+        assert chain.accounts.account(state).data == bytearray()
+
+    def test_empty_bundle_rejected(self, env):
+        sim, chain, program, state = env
+        with pytest.raises(HostError):
+            chain.submit_bundle([], tip_lamports=0)
+
+    def test_base_fee_slower_than_priority_under_congestion(self):
+        """The latency ordering that motivates §VI-B."""
+        sim = Simulation(seed=11)
+        config = HostConfig(base_congestion=0.7, diurnal_congestion=0.0, spike_probability=0.0)
+        chain = HostChain(sim, SimSigScheme(), config)
+        chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+        program = CounterProgram()
+        chain.deploy(program)
+        state = Address.derive("counter-state")
+
+        base_lat, prio_lat = [], []
+        for i in range(60):
+            submit_time = i * 10.0
+            for fee, sink in ((BaseFee(), base_lat), (PriorityFee(1_000), prio_lat)):
+                def submit(fee=fee, sink=sink, t0=submit_time):
+                    chain.submit(
+                        make_tx(program, state, fee=fee),
+                        on_result=lambda r, t0=t0, sink=sink: sink.append(r.time - t0),
+                    )
+                sim.schedule_at(submit_time, submit)
+        sim.run_until(700.0)
+        assert len(base_lat) == len(prio_lat) == 60
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(prio_lat) < mean(base_lat)
+
+
+class TestAccountsAndRent:
+    def test_allocation_takes_rent_deposit(self, env):
+        sim, chain, program, state = env
+        before = chain.accounts.balance(PAYER)
+        size = 1024
+        chain.accounts.allocate(PAYER, Address.derive("data"), size, program.program_id)
+        assert before - chain.accounts.balance(PAYER) == rent_exempt_deposit(size)
+
+    def test_ten_mib_account_deposit_matches_paper(self, env):
+        """§V-D: the 10 MiB guest state account required ≈ 14.6 k USD."""
+        deposit = rent_exempt_deposit(MAX_ACCOUNT_BYTES)
+        assert lamports_to_usd(deposit) == pytest.approx(14_600, rel=0.01)
+
+    def test_oversized_account_rejected(self, env):
+        sim, chain, program, state = env
+        with pytest.raises(AccountSizeError):
+            chain.accounts.allocate(
+                PAYER, Address.derive("big"), MAX_ACCOUNT_BYTES + 1, program.program_id
+            )
+
+    def test_deallocate_refunds_deposit(self, env):
+        sim, chain, program, state = env
+        addr = Address.derive("data")
+        before = chain.accounts.balance(PAYER)
+        chain.accounts.allocate(PAYER, addr, 4096, program.program_id)
+        refund = chain.accounts.deallocate(addr, PAYER)
+        assert refund == rent_exempt_deposit(4096)
+        assert chain.accounts.balance(PAYER) == before
+
+    def test_transfer_requires_funds(self, env):
+        sim, chain, program, state = env
+        with pytest.raises(InsufficientFundsError):
+            chain.accounts.transfer(Address.derive("empty"), PAYER, 1)
+
+    def test_double_allocation_rejected(self, env):
+        sim, chain, program, state = env
+        addr = Address.derive("data")
+        chain.accounts.allocate(PAYER, addr, 64, program.program_id)
+        with pytest.raises(HostError):
+            chain.accounts.allocate(PAYER, addr, 64, program.program_id)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            sim = Simulation(seed=seed)
+            chain = HostChain(sim, SimSigScheme())
+            chain.airdrop(PAYER, sol_to_lamports(100.0))
+            program = CounterProgram()
+            chain.deploy(program)
+            state = Address.derive("counter-state")
+            receipts = []
+            for i in range(10):
+                sim.schedule_at(i * 2.0, lambda: chain.submit(
+                    make_tx(program, state), on_result=receipts.append,
+                ))
+            sim.run_until(60.0)
+            return [(r.slot, r.fee_paid, r.success) for r in receipts]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6) or True  # different seeds may coincide; no assertion

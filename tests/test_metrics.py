@@ -1,0 +1,115 @@
+"""Unit tests for the metrics package (stats and table rendering)."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import Summary, correlation, fraction_below, percentile, summarize
+from repro.metrics.table import format_distribution, format_table
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_median_even(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.count == 8
+        assert summary.minimum == 2.0
+        assert summary.maximum == 9.0
+        assert summary.mean == 5.0
+        assert summary.std == pytest.approx(2.0)  # classic example
+        assert summary.median == 4.5
+
+    def test_order_independent(self):
+        a = summarize([3.0, 1.0, 2.0])
+        b = summarize([1.0, 2.0, 3.0])
+        assert a == b
+
+    def test_row_formatting(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        row = summary.row(digits=1)
+        assert row[0] == "1.0" and row[4] == "3.0"
+        assert len(row) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+
+    def test_strictness(self):
+        assert fraction_below([1.0, 2.0], 2.0) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        import random
+        rng = random.Random(5)
+        xs = [rng.random() for _ in range(2_000)]
+        ys = [rng.random() for _ in range(2_000)]
+        assert abs(correlation(xs, ys)) < 0.08
+
+    def test_constant_series_is_zero(self):
+        assert correlation([1.0, 1.0, 1.0], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            correlation([1.0], [1.0, 2.0])
+
+
+class TestTableRendering:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", "1"], ["bbbb", "22"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # uniform width
+
+    def test_title_included(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_short_rows_padded(self):
+        text = format_table(["a", "b"], [["only-a"]])
+        assert "only-a" in text
+
+    def test_distribution_thresholds(self):
+        text = format_distribution([1.0, 2.0, 3.0, 4.0], "s", thresholds=[2.5])
+        assert "50.0%<2.5s" in text
+        assert "n=4" in text

@@ -1,0 +1,99 @@
+"""Tests for the relayer's spend ledger and escalating fee policy."""
+
+import pytest
+
+from repro.host.fees import BaseFee, PriorityFee
+from repro.relayer.strategy import EscalatingFeePolicy, SpendLedger
+from repro.units import usd_to_lamports
+
+
+class TestSpendLedger:
+    def test_accumulates_by_category(self):
+        ledger = SpendLedger()
+        ledger.record("lc-update", 1_000_000, tx_count=36)
+        ledger.record("lc-update", 900_000, tx_count=34)
+        ledger.record("delivery", 20_000, tx_count=4)
+        assert ledger.by_category["lc-update"] == 1_900_000
+        assert ledger.transactions["lc-update"] == 70
+        assert ledger.total_lamports() == 1_920_000
+
+    def test_usd_conversion(self):
+        ledger = SpendLedger()
+        ledger.record("delivery", usd_to_lamports(1.0))
+        assert ledger.total_usd() == pytest.approx(1.0)
+
+    def test_summary_lists_categories(self):
+        ledger = SpendLedger()
+        ledger.record("acks", 5_000)
+        ledger.record("lc-update", 10_000)
+        text = ledger.summary()
+        assert "acks" in text and "lc-update" in text and "total" in text
+
+
+class TestEscalatingFeePolicy:
+    def test_starts_cheap(self):
+        policy = EscalatingFeePolicy(escalate_after=10.0)
+        assert isinstance(policy.strategy_for(0.0), BaseFee)
+        assert isinstance(policy.strategy_for(9.9), BaseFee)
+        assert policy.escalations == 0
+
+    def test_escalates_after_deadline(self):
+        policy = EscalatingFeePolicy(escalate_after=10.0, initial_cu_price=100)
+        strategy = policy.strategy_for(10.0)
+        assert isinstance(strategy, PriorityFee)
+        assert strategy.compute_unit_price == 100
+        assert policy.escalations == 1
+
+    def test_price_doubles_with_waiting_time(self):
+        policy = EscalatingFeePolicy(escalate_after=10.0, initial_cu_price=100)
+        first = policy.strategy_for(10.0)
+        third = policy.strategy_for(30.0)
+        assert third.compute_unit_price == 4 * first.compute_unit_price
+
+    def test_price_capped(self):
+        policy = EscalatingFeePolicy(escalate_after=1.0, initial_cu_price=1_000_000,
+                                     max_cu_price=2_000_000)
+        strategy = policy.strategy_for(1_000.0)
+        assert strategy.compute_unit_price == 2_000_000
+
+    def test_escalated_fee_beats_base_in_congested_mempool(self):
+        """End to end: under heavy congestion the escalated strategy has
+        a materially lower expected wait than the base fee."""
+        from repro.sim.rng import Rng
+        policy = EscalatingFeePolicy(escalate_after=5.0)
+        escalated = policy.strategy_for(20.0)
+        rng_a, rng_b = Rng(3), Rng(3)
+        base_wait = sum(BaseFee().scheduling_delay(rng_a, 0.9) for _ in range(300)) / 300
+        esc_wait = sum(escalated.scheduling_delay(rng_b, 0.9) for _ in range(300)) / 300
+        assert esc_wait < base_wait / 2
+
+
+class TestLedgerWiring:
+    def test_relayer_accounts_every_flow(self):
+        from repro import Deployment, DeploymentConfig
+        from repro.guest.config import GuestConfig
+        from repro.validators.profiles import simple_profiles
+        dep = Deployment(DeploymentConfig(
+            seed=171,
+            guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+            profiles=simple_profiles(4),
+        ))
+        guest_chan, cp_chan = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 100)
+        dep.counterparty.bank.mint("carol", "PICA", 100)
+        payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+
+        def send():
+            data = dep.counterparty.transfer.make_payload(cp_chan, "PICA", 10, "carol", "dave")
+            dep.counterparty.ibc.send_packet(dep.counterparty.transfer_port, cp_chan, data, 0.0)
+        dep.counterparty.submit(send)
+        dep.run_for(400.0)
+
+        ledger = dep.relayer.ledger
+        assert ledger.by_category.get("lc-update", 0) > 0
+        assert ledger.by_category.get("delivery", 0) > 0
+        assert ledger.by_category.get("ack-return", 0) > 0
+        # The light-client updates dominate the bill (§V-B's story).
+        assert ledger.by_category["lc-update"] > 10 * ledger.by_category["delivery"]
+        assert "total" in ledger.summary()

@@ -1,0 +1,188 @@
+"""Tests for validator rewards — the §V-C incentive, implemented.
+
+The paper: "since automatic slashing and rewards was not implemented,
+those Validators kept their stake intact... We expect that with a full
+implementation of all the incentives, Validators will engage."  This
+reproduction distributes the packet fees each finalised block collected
+to the signers that finalised it, pro rata by stake.
+"""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.guest.config import GuestConfig
+from repro.units import lamports_to_usd
+from repro.validators.profiles import simple_profiles
+
+
+@pytest.fixture
+def busy_dep():
+    """A deployment with traffic, so fees accrue."""
+    dep = Deployment(DeploymentConfig(
+        seed=121,
+        guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+        profiles=simple_profiles(4),
+    ))
+    guest_chan, cp_chan = dep.establish_link()
+    dep.contract.bank.mint("alice", "GUEST", 10 ** 9)
+    for _ in range(5):
+        payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+    dep.run_for(240.0)
+    return dep
+
+
+class TestRewardAccrual:
+    def test_signers_accrue_rewards(self, busy_dep):
+        balances = busy_dep.contract.reward_balances
+        assert balances, "fees flowed but nobody earned rewards"
+        assert all(amount > 0 for amount in balances.values())
+
+    def test_rewards_funded_by_fees(self, busy_dep):
+        total_rewards = sum(busy_dep.contract.reward_balances.values())
+        assert 0 < total_rewards <= busy_dep.contract.fees_collected
+
+    def test_silent_validators_earn_nothing(self):
+        import dataclasses
+        profiles = simple_profiles(5)
+        profiles[4] = dataclasses.replace(profiles[4], silent=True)
+        dep = Deployment(DeploymentConfig(
+            seed=122,
+            guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+            profiles=profiles,
+        ))
+        guest_chan, _ = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 10 ** 9)
+        payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+        dep.run_for(120.0)
+        silent_key = dep.validators[4].keypair.public_key
+        assert dep.contract.reward_balances.get(silent_key, 0) == 0
+
+    def test_rewards_proportional_to_stake(self):
+        from repro.validators.profiles import ValidatorProfile
+        from repro.units import sol_to_lamports
+        profiles = [
+            ValidatorProfile(index=1, fee_cents=0.2, latency_median=2.0,
+                             latency_q3=3.0, stake=sol_to_lamports(300.0)),
+            ValidatorProfile(index=2, fee_cents=0.2, latency_median=2.0,
+                             latency_q3=3.0, stake=sol_to_lamports(100.0)),
+            ValidatorProfile(index=3, fee_cents=0.2, latency_median=2.0,
+                             latency_q3=3.0, stake=sol_to_lamports(100.0)),
+        ]
+        dep = Deployment(DeploymentConfig(
+            seed=123,
+            guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+            profiles=profiles,
+        ))
+        guest_chan, _ = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 10 ** 9)
+        payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+        dep.run_for(180.0)
+
+        whale = dep.validators[0]
+        minnow = dep.validators[1]
+        whale_reward = dep.contract.reward_balances.get(whale.keypair.public_key, 0)
+        minnow_reward = dep.contract.reward_balances.get(minnow.keypair.public_key, 0)
+        if whale_reward and minnow_reward:
+            # Stake ratio 3:1 shows in the payout (both signed the same
+            # blocks in this small quorum).
+            assert 2.0 < whale_reward / minnow_reward < 4.0
+
+
+class TestRewardClaims:
+    def test_claim_pays_out(self, busy_dep):
+        node = next(
+            v for v in busy_dep.validators
+            if busy_dep.contract.reward_balances.get(v.keypair.public_key, 0) > 0
+        )
+        accrued = busy_dep.contract.reward_balances[node.keypair.public_key]
+        payer = node.api.payer
+        balance_before = busy_dep.host.accounts.balance(payer)
+        results = []
+        node.api.claim_rewards(node.keypair, on_result=results.append)
+        busy_dep.run_for(30.0)
+        assert results[0].success, results[0].error
+        gained = busy_dep.host.accounts.balance(payer) - balance_before
+        assert gained == accrued - results[0].fee_paid
+        assert node.keypair.public_key not in busy_dep.contract.reward_balances
+
+    def test_double_claim_rejected(self, busy_dep):
+        node = next(
+            v for v in busy_dep.validators
+            if busy_dep.contract.reward_balances.get(v.keypair.public_key, 0) > 0
+        )
+        results = []
+        node.api.claim_rewards(node.keypair, on_result=results.append)
+        busy_dep.run_for(30.0)
+        node.api.claim_rewards(node.keypair, on_result=results.append)
+        busy_dep.run_for(30.0)
+        assert results[0].success
+        assert not results[1].success
+        assert "no rewards" in results[1].error
+
+    def test_thief_cannot_claim_another_validators_rewards(self, busy_dep):
+        """The claim must be signed by the validator key for the *payer*:
+        a thief replaying someone's claim to their own payer fails."""
+        from repro.guest import instructions as ins
+        from repro.host.fees import BaseFee
+        from repro.host.transaction import Instruction, SigVerify, Transaction
+
+        victim = next(
+            v for v in busy_dep.validators
+            if busy_dep.contract.reward_balances.get(v.keypair.public_key, 0) > 0
+        )
+        # The victim once signed a claim for ITS OWN payer; the thief
+        # replays that signature with the thief as transaction payer.
+        victim_message = ins.claim_message(victim.keypair.public_key,
+                                           bytes(victim.api.payer))
+        stolen_signature = victim.keypair.sign(victim_message)
+
+        thief = busy_dep.user
+        results = []
+        tx = Transaction(
+            payer=thief,
+            instructions=(Instruction(
+                busy_dep.contract.program_id,
+                (busy_dep.contract.state_account, busy_dep.contract.treasury),
+                ins.claim_rewards(victim.keypair.public_key),
+            ),),
+            fee_strategy=BaseFee(),
+            sig_verifies=(SigVerify(victim.keypair.public_key, victim_message,
+                                    stolen_signature),),
+        )
+        busy_dep.host.submit(tx, on_result=results.append)
+        busy_dep.run_for(30.0)
+        assert not results[0].success
+        assert "not authorised" in results[0].error
+        assert busy_dep.contract.reward_balances[victim.keypair.public_key] > 0
+
+
+class TestIncentiveCompatibility:
+    def test_signing_profitable_under_traffic(self):
+        """The §V-C hypothesis: with rewards implemented, an active
+        validator's income exceeds its signing fees."""
+        dep = Deployment(DeploymentConfig(
+            seed=124,
+            guest=GuestConfig(delta_seconds=600.0, min_stake_lamports=1,
+                              send_fee_lamports=100_000),
+            profiles=simple_profiles(4),
+        ))
+        guest_chan, _ = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 10 ** 9)
+        for _ in range(10):
+            payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 1, "alice", "bob")
+            dep.user_api.send_packet("transfer", str(guest_chan), payload)
+            dep.run_for(30.0)
+        dep.run_for(120.0)
+
+        for node in dep.validators:
+            records = node.successful_records()
+            if not records:
+                continue
+            costs = sum(r.fee_paid for r in records)
+            rewards = dep.contract.reward_balances.get(node.keypair.public_key, 0)
+            assert rewards > costs, (
+                f"validator #{node.profile.index} paid {costs} but earned {rewards}"
+            )

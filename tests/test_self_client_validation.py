@@ -1,0 +1,146 @@
+"""Tests for validate_self_client — the check of the paper's footnote 2.
+
+Octopus Network's NEAR-IBC left ``validate_self_client`` blank; this
+reproduction implements it on both chains: during the connection
+handshake each side validates the counterparty's claimed light-client
+view of *itself* and refuses connections bound to a fake twin.
+"""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.errors import HandshakeError
+from repro.guest.config import GuestConfig
+from repro.ibc.self_client import SelfClientState, validate_self_client
+from repro.validators.profiles import simple_profiles
+
+
+class TestValidationRule:
+    KNOWN = frozenset({b"\x01" * 32})
+
+    def good(self):
+        return SelfClientState(chain_id="guest", latest_height=5,
+                               trusted_set_hash=b"\x01" * 32)
+
+    def test_honest_claim_passes(self):
+        validate_self_client(self.good(), "guest", 10, self.KNOWN)
+
+    def test_wrong_chain_id_rejected(self):
+        claim = SelfClientState("evil-twin", 5, b"\x01" * 32)
+        with pytest.raises(HandshakeError, match="tracks chain"):
+            validate_self_client(claim, "guest", 10, self.KNOWN)
+
+    def test_future_height_rejected(self):
+        claim = SelfClientState("guest", 99, b"\x01" * 32)
+        with pytest.raises(HandshakeError, match="claims height"):
+            validate_self_client(claim, "guest", 10, self.KNOWN)
+
+    def test_unknown_validator_set_rejected(self):
+        claim = SelfClientState("guest", 5, b"\xff" * 32)
+        with pytest.raises(HandshakeError, match="never had"):
+            validate_self_client(claim, "guest", 10, self.KNOWN)
+
+    def test_serialization_roundtrip(self):
+        claim = self.good()
+        assert SelfClientState.from_bytes(claim.to_bytes()) == claim
+
+
+class TestOnChainValidation:
+    @pytest.fixture
+    def dep(self):
+        return Deployment(DeploymentConfig(
+            seed=101,
+            guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
+            profiles=simple_profiles(4),
+        ))
+
+    def test_handshake_carries_and_passes_validation(self, dep):
+        """The normal link establishment exercises the check: the relayer
+        ships real client-state claims, both sides accept them."""
+        guest_chan, cp_chan = dep.establish_link()
+        assert str(guest_chan) == "channel-0"
+
+    def test_guest_rejects_fake_twin_claim(self, dep):
+        dep.run_for(30.0)
+        from repro.errors import GuestError
+        fake = SelfClientState(
+            chain_id="guest",
+            latest_height=dep.contract.head.height,
+            trusted_set_hash=b"\x66" * 32,  # a set the guest never had
+        )
+        with pytest.raises(HandshakeError):
+            dep.contract._validate_claim_about_guest(fake.to_bytes())
+
+    def test_guest_rejects_future_height_claim(self, dep):
+        dep.run_for(30.0)
+        fake = SelfClientState(
+            chain_id="guest",
+            latest_height=dep.contract.head.height + 1_000,
+            trusted_set_hash=bytes(dep.contract.current_epoch.canonical_hash()),
+        )
+        with pytest.raises(HandshakeError):
+            dep.contract._validate_claim_about_guest(fake.to_bytes())
+
+    def test_guest_accepts_honest_claim(self, dep):
+        dep.run_for(30.0)
+        honest = SelfClientState(
+            chain_id="guest",
+            latest_height=0,
+            trusted_set_hash=bytes(dep.contract.current_epoch.canonical_hash()),
+        )
+        dep.contract._validate_claim_about_guest(honest.to_bytes())  # no raise
+
+    def test_counterparty_rejects_wrong_chain_claim(self, dep):
+        dep.run_for(30.0)
+        fake = SelfClientState(
+            chain_id="not-picasso",
+            latest_height=1,
+            trusted_set_hash=bytes(dep.counterparty.validator_set().canonical_hash()),
+        )
+        with pytest.raises(HandshakeError):
+            dep.counterparty._validate_claim_about_us(fake.to_bytes())
+
+    def test_counterparty_accepts_churned_historical_set(self, dep):
+        """Claims may reference any set the chain *ever* had (a lagging
+        but honest client), not just the current one."""
+        genesis_hash = bytes(dep.counterparty.validator_set().canonical_hash())
+        dep.run_for(120.0)  # churn rotates the set
+        claim = SelfClientState(
+            chain_id=dep.counterparty.config.chain_id,
+            latest_height=1,
+            trusted_set_hash=genesis_hash,
+        )
+        dep.counterparty._validate_claim_about_us(claim.to_bytes())  # no raise
+
+    def test_conn_open_try_on_cp_rejects_bogus_claim(self, dep):
+        """End-to-end: a malicious relayer shipping a fake-twin claim has
+        its conn_open_try rejected by the counterparty chain."""
+        dep.run_for(30.0)
+        # Set up a legitimate INIT on the guest to prove.
+        conn = dep.contract.ibc.conn_open_init(
+            dep.contract.counterparty_client_id, dep.guest_client_id_on_cp,
+        )
+        from repro.ibc import commitment as paths
+        proof = dep.contract.store.prove(paths.connection_path(conn))
+        fake_claim = SelfClientState(
+            chain_id=dep.counterparty.config.chain_id,
+            latest_height=dep.counterparty.height + 500,
+            trusted_set_hash=bytes(dep.counterparty.validator_set().canonical_hash()),
+        )
+        # Push the guest header so the proof verifies, then try.
+        outcomes = []
+
+        def attempt():
+            dep.counterparty.submit(
+                lambda: dep.counterparty.ibc.conn_open_try(
+                    dep.guest_client_id_on_cp, dep.contract.counterparty_client_id,
+                    conn, proof, dep.contract.head.height,
+                    counterparty_client_state=fake_claim.to_bytes(),
+                ),
+                on_result=lambda value, h: outcomes.append(value),
+            )
+
+        attempt()
+        dep.run_for(30.0)
+        assert outcomes and isinstance(outcomes[0], HandshakeError)
+        assert "claims height" in str(outcomes[0])

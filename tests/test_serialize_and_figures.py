@@ -1,0 +1,133 @@
+"""Tests for trie snapshots (dump/load) and the ASCII figure renderers."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SealedNodeError, TrieError
+from repro.metrics.figures import cdf, histogram
+from repro.trie import SealableTrie, verify_membership
+from repro.trie.serialize import dump_trie, load_trie
+
+
+def key(i: int) -> bytes:
+    return hashlib.sha256(f"snap-{i}".encode()).digest()
+
+
+class TestTrieSnapshots:
+    def test_empty_roundtrip(self):
+        trie = SealableTrie()
+        restored = load_trie(dump_trie(trie))
+        assert restored.root_hash == trie.root_hash
+        assert restored.is_empty()
+
+    def test_populated_roundtrip(self):
+        trie = SealableTrie()
+        for i in range(200):
+            trie.set(key(i), f"value-{i}".encode())
+        restored = load_trie(dump_trie(trie))
+        assert restored.root_hash == trie.root_hash
+        for i in range(200):
+            assert restored.get(key(i)) == f"value-{i}".encode()
+
+    def test_sealed_stubs_survive(self):
+        prefix = hashlib.sha256(b"snap-chan").digest()[:24]
+        trie = SealableTrie()
+        for seq in range(10):
+            trie.set(prefix + seq.to_bytes(8, "big"), b"receipt")
+        for seq in range(8):
+            trie.seal(prefix + seq.to_bytes(8, "big"))
+        restored = load_trie(dump_trie(trie))
+        assert restored.root_hash == trie.root_hash
+        # Sealed entries stay sealed after the round trip (replay guard
+        # survives snapshot/restore).
+        with pytest.raises(SealedNodeError):
+            restored.get(prefix + (0).to_bytes(8, "big"))
+        assert restored.get(prefix + (9).to_bytes(8, "big")) == b"receipt"
+
+    def test_canonical_encoding(self):
+        a, b = SealableTrie(), SealableTrie()
+        for i in range(50):
+            a.set(key(i), b"v")
+        for i in reversed(range(50)):
+            b.set(key(i), b"v")
+        assert dump_trie(a) == dump_trie(b)
+
+    def test_proofs_from_restored_trie(self):
+        trie = SealableTrie()
+        for i in range(40):
+            trie.set(key(i), b"v")
+        restored = load_trie(dump_trie(trie))
+        proof = restored.prove(key(7))
+        assert verify_membership(trie.root_hash, proof)
+
+    def test_mutating_restored_trie_works(self):
+        trie = SealableTrie()
+        trie.set(key(1), b"v")
+        restored = load_trie(dump_trie(trie))
+        restored.set(key(2), b"w")
+        restored.delete(key(1))
+        assert restored.get(key(2)) == b"w"
+
+    def test_garbage_rejected(self):
+        with pytest.raises((TrieError, ValueError)):
+            load_trie(b"\x42\x00\x01")
+        with pytest.raises((TrieError, ValueError)):
+            load_trie(dump_trie_with_trailing())
+
+    @given(st.dictionaries(
+        st.binary(min_size=1, max_size=6).map(lambda b: hashlib.sha256(b).digest()),
+        st.binary(max_size=32), max_size=30,
+    ))
+    def test_roundtrip_property(self, mapping):
+        trie = SealableTrie()
+        for k, v in mapping.items():
+            trie.set(k, v)
+        restored = load_trie(dump_trie(trie))
+        assert restored.root_hash == trie.root_hash
+        assert dict(restored.items()) == mapping
+
+
+def dump_trie_with_trailing():
+    trie = SealableTrie()
+    trie.set(key(0), b"v")
+    return dump_trie(trie) + b"extra"
+
+
+class TestAsciiFigures:
+    def test_histogram_shape(self):
+        text = histogram([1.0] * 90 + [10.0] * 10, bins=5, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].count("#") == 20      # dominant first bin
+        assert lines[-1].count("#") >= 1      # tail still visible
+        assert lines[0].rstrip().endswith("90")
+
+    def test_histogram_log_counts_compresses(self):
+        linear = histogram([1.0] * 1000 + [10.0], bins=2, width=40)
+        logged = histogram([1.0] * 1000 + [10.0], bins=2, width=40, log_counts=True)
+        assert logged.splitlines()[1].count("#") > linear.splitlines()[1].count("#")
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_histogram_constant_data(self):
+        text = histogram([5.0, 5.0, 5.0], bins=3)
+        assert "3" in text
+
+    def test_cdf_monotone_and_complete(self):
+        text = cdf(list(range(100)), points=8, width=20)
+        shares = [float(line.split()[-1].rstrip("%")) for line in text.splitlines()]
+        assert shares == sorted(shares)
+        assert shares[-1] == 100.0
+
+    def test_cdf_markers_flagged(self):
+        text = cdf([1.0, 2.0, 3.0, 4.0], markers=[2.5])
+        assert "<-" in text
+
+    def test_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf([])

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation, lognormal_from_quantiles
+from repro.sim.rng import Rng
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation(seed=1)
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulation(seed=1)
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation(seed=1)
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation(seed=1)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulation(seed=1)
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation(seed=1)
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(1.0, second)
+
+        def second():
+            fired.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulation(seed=1)
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(5.0, fired.append, "out")
+        sim.run_until(2.0)
+        assert fired == ["in"]
+        assert sim.now == 2.0
+        assert sim.pending_events() == 1
+
+    def test_run_until_cannot_rewind(self):
+        sim = Simulation(seed=1)
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_runaway_guard(self):
+        sim = Simulation(seed=1)
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a, b = Rng(42), Rng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_forked_streams_independent(self):
+        root = Rng(42)
+        a = root.fork("actor-a")
+        before = [a.random() for _ in range(5)]
+        # Recreate with an extra fork in between: actor-a's stream is its
+        # own, but fork order matters on the root — so fork labels exist
+        # to document intent, and identical fork sequences reproduce.
+        root2 = Rng(42)
+        a2 = root2.fork("actor-a")
+        assert [a2.random() for _ in range(5)] == before
+
+
+class TestDistributions:
+    def test_lognormal_quantile_fit(self):
+        mu, sigma = lognormal_from_quantiles(median=3.2, q3=5.2)
+        rng = Rng(7)
+        samples = sorted(rng.lognormal(mu, sigma) for _ in range(20_000))
+        med = samples[len(samples) // 2]
+        q3 = samples[int(len(samples) * 0.75)]
+        assert med == pytest.approx(3.2, rel=0.05)
+        assert q3 == pytest.approx(5.2, rel=0.05)
+
+    def test_lognormal_fit_validates_input(self):
+        with pytest.raises(ValueError):
+            lognormal_from_quantiles(median=5.0, q3=4.0)
+        with pytest.raises(ValueError):
+            lognormal_from_quantiles(median=0.0, q3=1.0)
+
+    def test_poisson_mean(self):
+        rng = Rng(7)
+        samples = [rng.poisson(4.0) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.05)
+
+    def test_poisson_zero_mean(self):
+        rng = Rng(7)
+        assert rng.poisson(0.0) == 0
+
+    def test_poisson_large_mean_uses_normal_approx(self):
+        rng = Rng(7)
+        samples = [rng.poisson(1_000.0) for _ in range(200)]
+        assert sum(samples) / len(samples) == pytest.approx(1_000.0, rel=0.05)
+
+    def test_bernoulli_probability(self):
+        rng = Rng(7)
+        hits = sum(rng.bernoulli(0.25) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.25, abs=0.02)

@@ -1,0 +1,260 @@
+"""Unit tests for the sealable Merkle trie (§III-A)."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import Hash
+from repro.errors import KeyNotFoundError, SealedNodeError, TrieError
+from repro.trie import SealableTrie
+
+
+def key(i: int) -> bytes:
+    """A 32-byte pseudo-random key, like the hashed keys the guest uses."""
+    return hashlib.sha256(f"key-{i}".encode()).digest()
+
+
+@pytest.fixture
+def trie():
+    return SealableTrie()
+
+
+class TestBasicOperations:
+    def test_empty_root_is_zero(self, trie):
+        assert trie.root_hash == Hash.zero()
+        assert trie.is_empty()
+
+    def test_set_get_roundtrip(self, trie):
+        trie.set(key(1), b"value-1")
+        assert trie.get(key(1)) == b"value-1"
+
+    def test_get_missing_raises(self, trie):
+        trie.set(key(1), b"v")
+        with pytest.raises(KeyNotFoundError):
+            trie.get(key(2))
+
+    def test_update_changes_value_and_root(self, trie):
+        trie.set(key(1), b"old")
+        root_old = trie.root_hash
+        trie.set(key(1), b"new")
+        assert trie.get(key(1)) == b"new"
+        assert trie.root_hash != root_old
+
+    def test_many_keys(self, trie):
+        for i in range(200):
+            trie.set(key(i), f"value-{i}".encode())
+        for i in range(200):
+            assert trie.get(key(i)) == f"value-{i}".encode()
+
+    def test_insertion_order_independence(self):
+        a = SealableTrie()
+        b = SealableTrie()
+        for i in range(50):
+            a.set(key(i), f"v{i}".encode())
+        for i in reversed(range(50)):
+            b.set(key(i), f"v{i}".encode())
+        assert a.root_hash == b.root_hash
+
+    def test_contains(self, trie):
+        trie.set(key(1), b"v")
+        assert trie.contains(key(1))
+        assert not trie.contains(key(2))
+
+    def test_values_must_be_bytes(self, trie):
+        with pytest.raises(TrieError):
+            trie.set(key(1), "not-bytes")  # type: ignore[arg-type]
+
+    def test_variable_length_keys(self, trie):
+        trie.set(b"a", b"1")
+        trie.set(b"ab", b"2")
+        trie.set(b"abc", b"3")
+        assert trie.get(b"a") == b"1"
+        assert trie.get(b"ab") == b"2"
+        assert trie.get(b"abc") == b"3"
+
+    def test_empty_key(self, trie):
+        trie.set(b"", b"root-value")
+        assert trie.get(b"") == b"root-value"
+
+    def test_len_and_items(self, trie):
+        pairs = {key(i): f"v{i}".encode() for i in range(20)}
+        for k, v in pairs.items():
+            trie.set(k, v)
+        assert len(trie) == 20
+        assert dict(trie.items()) == pairs
+
+
+class TestDelete:
+    def test_delete_removes(self, trie):
+        trie.set(key(1), b"v")
+        trie.delete(key(1))
+        assert not trie.contains(key(1))
+        assert trie.root_hash == Hash.zero()
+
+    def test_delete_missing_raises(self, trie):
+        with pytest.raises(KeyNotFoundError):
+            trie.delete(key(1))
+
+    def test_delete_restores_previous_root(self, trie):
+        for i in range(30):
+            trie.set(key(i), f"v{i}".encode())
+        root_before = trie.root_hash
+        trie.set(key(99), b"extra")
+        trie.delete(key(99))
+        assert trie.root_hash == root_before
+
+    def test_delete_interleaved(self, trie):
+        for i in range(60):
+            trie.set(key(i), f"v{i}".encode())
+        for i in range(0, 60, 2):
+            trie.delete(key(i))
+        for i in range(60):
+            if i % 2:
+                assert trie.get(key(i)) == f"v{i}".encode()
+            else:
+                assert not trie.contains(key(i))
+
+    def test_delete_collapses_structure(self, trie):
+        # After deleting all but one key, storage should shrink back to a
+        # single leaf.
+        for i in range(40):
+            trie.set(key(i), b"v")
+        for i in range(1, 40):
+            trie.delete(key(i))
+        assert trie.node_count() == 1
+
+    def test_delete_branch_value_key(self, trie):
+        trie.set(b"a", b"1")
+        trie.set(b"ab", b"2")
+        trie.delete(b"a")
+        assert not trie.contains(b"a")
+        assert trie.get(b"ab") == b"2"
+
+
+class TestSealing:
+    def test_seal_preserves_root(self, trie):
+        for i in range(50):
+            trie.set(key(i), f"v{i}".encode())
+        root = trie.root_hash
+        for i in range(25):
+            trie.seal(key(i))
+        assert trie.root_hash == root
+
+    def test_sealed_key_unreadable(self, trie):
+        trie.set(key(1), b"v")
+        trie.set(key(2), b"w")
+        trie.seal(key(1))
+        with pytest.raises(SealedNodeError):
+            trie.get(key(1))
+        assert trie.get(key(2)) == b"w"
+
+    def test_sealed_key_cannot_be_rewritten(self, trie):
+        """The double-delivery guard: a sealed packet receipt can never
+        be re-inserted."""
+        trie.set(key(1), b"receipt")
+        trie.seal(key(1))
+        with pytest.raises(SealedNodeError):
+            trie.set(key(1), b"receipt-again")
+
+    def test_seal_missing_key_raises(self, trie):
+        trie.set(key(1), b"v")
+        with pytest.raises(KeyNotFoundError):
+            trie.seal(key(2))
+
+    def test_double_seal_raises(self, trie):
+        trie.set(key(1), b"v")
+        trie.seal(key(1))
+        with pytest.raises(SealedNodeError):
+            trie.seal(key(1))
+
+    def test_seal_all_bounds_storage(self, trie):
+        """§III-A / §V-D: sealing everything collapses storage to stubs."""
+        for i in range(100):
+            trie.set(key(i), f"v{i}".encode())
+        for i in range(100):
+            trie.seal(key(i))
+        # All content sealed away; only the root stub remains.
+        assert trie.node_count() == 0
+        assert trie.storage_bytes() == 0
+
+    def test_seal_reduces_live_nodes_monotonically(self, trie):
+        for i in range(64):
+            trie.set(key(i), b"v")
+        counts = [trie.node_count()]
+        for i in range(64):
+            trie.seal(key(i))
+            counts.append(trie.node_count())
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 0
+
+    def test_sealed_storage_stays_bounded_under_churn(self, trie):
+        """The headline property: state size depends on *live* entries
+        only, not on how many packets have ever been processed.
+
+        Uses monotone sequenced keys (prefix + big-endian counter), the
+        scheme the Guest Contract seals under: fresh keys then never
+        descend into fully sealed subtrees.
+        """
+        prefix = hashlib.sha256(b"channel-0").digest()[:24]
+        seq_key = lambda i: prefix + i.to_bytes(8, "big")
+        live_window = 32
+        high_water = 0
+        for i in range(500):
+            trie.set(seq_key(i), b"packet-receipt")
+            if i >= live_window:
+                trie.seal(seq_key(i - live_window))
+            high_water = max(high_water, trie.node_count())
+        # Live nodes should be proportional to the window, far below the
+        # 500 inserts ever made.
+        assert trie.node_count() <= 4 * live_window
+        assert high_water <= 6 * live_window
+
+    def test_random_key_into_fully_sealed_prefix_raises(self, trie):
+        """Documented limitation: sealing collapses whole prefixes, and a
+        *new* key that would descend into a sealed prefix cannot be
+        inserted — which is why sealing is reserved for monotone
+        sequenced keys."""
+        trie.set(b"\x00" * 32, b"a")
+        trie.set(b"\x00" * 31 + b"\x01", b"b")
+        trie.seal(b"\x00" * 32)
+        trie.seal(b"\x00" * 31 + b"\x01")
+        with pytest.raises(SealedNodeError):
+            trie.set(b"\x00" * 31 + b"\x02", b"c")
+
+    def test_seal_then_proof_of_sibling_still_works(self, trie):
+        from repro.trie import verify_membership
+        for i in range(20):
+            trie.set(key(i), f"v{i}".encode())
+        root = trie.root_hash
+        trie.seal(key(3))
+        proof = trie.prove(key(7))
+        assert verify_membership(root, proof)
+        assert verify_membership(trie.root_hash, proof)
+
+    def test_cannot_prove_sealed_entry(self, trie):
+        trie.set(key(1), b"v")
+        trie.set(key(2), b"w")
+        trie.seal(key(1))
+        with pytest.raises(SealedNodeError):
+            trie.prove(key(1))
+
+
+class TestStorageAccounting:
+    def test_empty_trie_zero_storage(self, trie):
+        assert trie.node_count() == 0
+        assert trie.storage_bytes() == 0
+
+    def test_storage_grows_with_inserts(self, trie):
+        sizes = []
+        for i in range(50):
+            trie.set(key(i), b"x" * 32)
+            sizes.append(trie.storage_bytes())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_sealed_count(self, trie):
+        for i in range(10):
+            trie.set(key(i), b"v")
+        assert trie.sealed_count() == 0
+        trie.seal(key(0))
+        assert trie.sealed_count() >= 1

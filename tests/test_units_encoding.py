@@ -1,0 +1,88 @@
+"""Unit tests for currency/limit constants and the wire encoding."""
+
+import pytest
+
+from repro import units
+from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+
+
+class TestCurrency:
+    def test_sol_roundtrip(self):
+        assert units.lamports_to_sol(units.sol_to_lamports(12.5)) == 12.5
+
+    def test_usd_at_200_per_sol(self):
+        assert units.lamports_to_usd(units.LAMPORTS_PER_SOL) == 200.0
+
+    def test_cents(self):
+        # 5000 lamports (one base fee) is 0.1 cents (§V-B).
+        assert units.lamports_to_cents(units.BASE_FEE_LAMPORTS_PER_SIGNATURE) == pytest.approx(0.1)
+
+    def test_usd_roundtrip(self):
+        assert units.lamports_to_usd(units.usd_to_lamports(3.02)) == pytest.approx(3.02)
+
+    def test_published_limits(self):
+        assert units.MAX_TRANSACTION_BYTES == 1232
+        assert units.MAX_COMPUTE_UNITS == 1_400_000
+        assert units.MAX_ACCOUNT_BYTES == 10 * 1024 * 1024
+        assert units.MAX_HEAP_BYTES == 32 * 1024
+
+    def test_rent_matches_paper(self):
+        """§V-D: 10 MiB deposit ≈ 14.6 k USD."""
+        deposit = units.rent_exempt_deposit(units.MAX_ACCOUNT_BYTES)
+        assert units.lamports_to_usd(deposit) == pytest.approx(14_600, rel=0.01)
+
+    def test_rent_monotonic(self):
+        assert units.rent_exempt_deposit(2048) > units.rent_exempt_deposit(1024)
+
+    def test_deployment_constants(self):
+        assert units.DELTA_SECONDS == 3600.0
+        assert units.MIN_EPOCH_HOST_BLOCKS == 100_000
+        assert units.STAKE_UNBONDING_SECONDS == 7 * 24 * 3600.0
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**62])
+    def test_roundtrip(self, value):
+        reader = Reader(encode_varint(value))
+        assert reader.read_varint() == value
+        reader.expect_end()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        data = encode_varint(300)[:-1]
+        with pytest.raises(ValueError):
+            Reader(data).read_varint()
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError):
+            Reader(b"\xff" * 11).read_varint()
+
+
+class TestBytesAndStrings:
+    def test_bytes_roundtrip(self):
+        reader = Reader(encode_bytes(b"hello") + encode_bytes(b""))
+        assert reader.read_bytes() == b"hello"
+        assert reader.read_bytes() == b""
+        reader.expect_end()
+
+    def test_str_roundtrip(self):
+        reader = Reader(encode_str("transfer/channel-0/uatom"))
+        assert reader.read_str() == "transfer/channel-0/uatom"
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(encode_bytes(b"x") + b"junk")
+        reader.read_bytes()
+        with pytest.raises(ValueError):
+            reader.expect_end()
+
+    def test_truncated_read(self):
+        with pytest.raises(ValueError):
+            Reader(b"\x05ab").read_bytes()
+
+    def test_remaining(self):
+        reader = Reader(b"abcdef")
+        reader.read(2)
+        assert reader.remaining == 4
