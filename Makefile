@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples all
+.PHONY: install test lint bench figures examples all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Style/correctness lint (install with: pip install ruff).
+lint:
+	ruff check src/ tests/ benchmarks/ examples/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -20,4 +24,4 @@ figures:
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script; done
 
-all: test bench figures
+all: lint test bench figures

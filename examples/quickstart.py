@@ -3,7 +3,9 @@
 Builds the full simulated deployment — Solana-like host, Guest Contract,
 validators, Tendermint-like counterparty, cranker and relayer — opens an
 IBC connection + transfer channel through the real four-step handshakes,
-and moves tokens in both directions with acknowledgements.
+and moves tokens in both directions with acknowledgements.  Tracing is
+enabled, so the run ends with the observability report: per-phase span
+timings, counters and fee/compute histograms (docs/OBSERVABILITY.md).
 
 Run:  python examples/quickstart.py
 """
@@ -19,6 +21,7 @@ def main() -> None:
         seed=42,
         guest=GuestConfig(delta_seconds=120.0, min_stake_lamports=1),
         profiles=simple_profiles(4),
+        tracing=True,
     ))
 
     print("Opening the IBC connection and transfer channel (4-step handshakes)...")
@@ -69,6 +72,18 @@ def main() -> None:
     print(f"\nGuest chain head: height {deployment.contract.head.height}, "
           f"state {deployment.contract.state_usage_bytes()} bytes "
           f"of the 10 MiB account")
+
+    # --- what the run looked like, from the trace ----------------------------
+    report = deployment.trace_report()
+    print("\nObservability report (simulated-time spans and counters):\n")
+    print(report.render())
+    packet = report.spans_named("packet.block_wait")[0].key
+    phases = ", ".join(
+        f"{record.name.removeprefix('packet.')} {record.duration:.1f}s"
+        for record in report.trace(packet)
+        if record.name.startswith("packet.") and record.end is not None
+    )
+    print(f"\nFirst packet's life (sequence {packet}): {phases}")
     print("Done.")
 
 

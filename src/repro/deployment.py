@@ -28,6 +28,7 @@ from repro.host.accounts import Address
 from repro.host.chain import HostChain, HostConfig
 from repro.ibc.identifiers import ChannelId, ClientId, PortId
 from repro.lightclient.guest_client import GuestLightClient
+from repro.observability import TraceReport, Tracer
 from repro.relayer.cranker import Cranker
 from repro.relayer.relayer import Relayer, RelayerConfig
 from repro.sim.gossip import GossipNetwork
@@ -55,6 +56,11 @@ class DeploymentConfig:
     #: pass repro.crypto.ed25519.Ed25519Scheme for real curve arithmetic
     #: (DESIGN.md SS2 documents the substitution).
     scheme_factory: type = SimSigScheme
+    #: Enable the observability layer (docs/OBSERVABILITY.md): spans,
+    #: counters and histograms recorded in simulated time, queryable
+    #: afterwards via ``deployment.trace_report()``.  Off by default —
+    #: a disabled tracer reduces every probe to a no-op.
+    tracing: bool = False
 
 
 class Deployment:
@@ -62,7 +68,10 @@ class Deployment:
 
     def __init__(self, config: DeploymentConfig) -> None:
         self.config = config
-        self.sim = Simulation(seed=config.seed)
+        self.sim = Simulation(
+            seed=config.seed,
+            tracer=Tracer() if config.tracing else None,
+        )
         self.scheme: SignatureScheme = config.scheme_factory()
         self.host = HostChain(self.sim, self.scheme, config.host)
         self.counterparty = CounterpartyChain(self.sim, self.scheme, config.counterparty)
@@ -186,6 +195,11 @@ class Deployment:
 
     def run_for(self, seconds: float) -> None:
         self.sim.run_until(self.sim.now + seconds)
+
+    def trace_report(self) -> TraceReport:
+        """Snapshot of everything the tracer recorded so far (empty
+        when the deployment was built without ``tracing=True``)."""
+        return self.sim.trace.report()
 
     def validator_keypair(self, index: int) -> Keypair:
         for node in self.validators:

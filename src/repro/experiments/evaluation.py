@@ -28,6 +28,7 @@ from repro.host.events import HostEvent
 from repro.host.fees import PriorityFee
 from repro.host.transaction import TxReceipt
 from repro.metrics.stats import Summary, correlation, summarize
+from repro.observability import TraceReport
 from repro.units import MAX_COMPUTE_UNITS, lamports_to_cents, lamports_to_usd
 from repro.validators.profiles import deployment_profiles
 
@@ -59,6 +60,10 @@ class EvaluationConfig:
     #: Epoch length in host slots, scaled from the mainnet 100 000 slots
     #: (≈ 11 h of a month) to the same share of the simulated duration.
     epoch_length_slots: int = 4_500
+    #: Record tracing spans/counters during the run (docs/OBSERVABILITY.md).
+    #: On by default: the latency-decomposition and send-cost benches
+    #: read their phase breakdowns straight from the trace report.
+    tracing: bool = True
 
 
 @dataclass
@@ -118,6 +123,8 @@ class EvaluationResults:
     block_intervals: list[float] = field(default_factory=list)
     silent_validators: int = 0
     cost_latency_correlation: float = 0.0
+    #: Observability snapshot of the run (empty if tracing was off).
+    trace: Optional[TraceReport] = None
 
     def send_latencies(self) -> list[float]:
         return [r.latency for r in self.sends if r.latency is not None]
@@ -143,6 +150,7 @@ class EvaluationRun:
                 retain_blocks=2_000,
             ),
             profiles=profiles,
+            tracing=cfg.tracing,
         ))
         self._rng = self.deployment.sim.rng.fork("evaluation-workload")
         self._send_queue: list[SendRecord] = []
@@ -168,9 +176,11 @@ class EvaluationRun:
         record = SendRecord(sequence=-1, strategy=strategy)
         self._send_queue.append(record)
 
-        def on_receipt(receipt: TxReceipt, record=record) -> None:
+        def on_receipt(receipt: TxReceipt, record=record, strategy=strategy) -> None:
             if receipt.success:
                 record.fee_paid = receipt.fee_paid
+                # Fig. 3's two fee clusters, as trace histograms.
+                dep.sim.trace.observe(f"send.fee.{strategy}", receipt.fee_paid)
 
         if strategy == "priority":
             dep.user_api.send_packet(
@@ -245,6 +255,7 @@ class EvaluationRun:
         dep.sim.run_until(cfg.duration + 1_200.0)
 
         self._harvest()
+        self.results.trace = dep.trace_report()
         return self.results
 
     def _harvest(self) -> None:

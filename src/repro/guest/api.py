@@ -219,6 +219,7 @@ class GuestApi:
         plan = plan_update_chunks(
             update, self.contract.known_valset_hashes(),
             tx_size_limit=self.chain.config.max_transaction_bytes,
+            tracer=self.chain.sim.trace if self.chain.sim.trace.enabled else None,
         )
         buffer_id = next(_buffer_ids)
         fee = fee or self.default_fee

@@ -248,6 +248,11 @@ class GuestContract(Program):
         ctx.meter.charge_trie_nodes(16)
         packet = self.ibc.send_packet(port, channel, payload, timeout)
         self._pending_packets.append(packet)
+        trace = ctx.chain.sim.trace
+        trace.count("guest.packets.sent")
+        # Phase 1 of the Fig. 2 decomposition: committed -> included in a
+        # generated guest block (closed by GENERATE_BLOCK).
+        trace.begin("packet.block_wait", key=packet.sequence, actor="guest")
         ctx.emit("PacketCommitted", height_hint=self.head.height + 1,
                  sequence=packet.sequence, channel=str(channel))
 
@@ -302,6 +307,18 @@ class GuestContract(Program):
         block = GuestBlock(header=header, generated_at=ctx.unix_time)
         self.blocks.append(block)
         self._packets_by_height[header.height] = tuple(self._pending_packets)
+        trace = ctx.chain.sim.trace
+        trace.count("guest.blocks.generated")
+        trace.gauge("guest.block.packets", len(self._pending_packets))
+        trace.gauge("guest.store.nodes", self.store.node_count())
+        trace.gauge("guest.store.bytes", self.store.storage_bytes())
+        # Block production -> quorum, per block and per carried packet
+        # (phase 2 of the Fig. 2 decomposition; closed on finalisation).
+        trace.begin("guest.block", key=header.height, actor="guest")
+        for packet in self._pending_packets:
+            trace.finish("packet.block_wait", key=packet.sequence,
+                         height=header.height)
+            trace.begin("packet.quorum_wait", key=packet.sequence, actor="guest")
         self._pending_packets = []
         self._state_views[header.height] = self.store.snapshot()
         if next_epoch is not None:
@@ -334,12 +351,22 @@ class GuestContract(Program):
         if not ctx.is_signature_verified(public_key, message):  # l.24
             raise GuestError("signature not verified by the runtime")
 
+        trace = ctx.chain.sim.trace
+        if block.finalised:
+            trace.count("guest.signatures.after_quorum")
         block.add_signature(public_key, signature)         # l.25
+        trace.count("guest.signatures")
         if not block.finalised and epoch.has_quorum(block.signer_set()):  # l.26–28
             block.finalised = True                          # l.29
             block.finalised_at = ctx.unix_time
             self._distribute_rewards(block, epoch)
             packets = self._packets_by_height.get(height, ())
+            trace.count("guest.blocks.finalised")
+            trace.finish("guest.block", key=height,
+                         signatures=len(block.signers))
+            for packet in packets:
+                trace.finish("packet.quorum_wait", key=packet.sequence,
+                             height=height)
             ctx.emit(                                      # l.30
                 "FinalisedBlock",
                 height=height,
@@ -504,6 +531,9 @@ class GuestContract(Program):
         }
         client.apply_verified(header, signers, valset)
         self._last_lc_update_time = ctx.unix_time
+        trace = ctx.chain.sim.trace
+        trace.count("guest.lc.updates")
+        trace.observe("guest.lc.verified_signers", len(signers))
         ctx.emit("CounterpartyClientUpdated", height=header.height)
 
     def known_valset_hashes(self) -> frozenset[bytes]:
@@ -565,6 +595,7 @@ class GuestContract(Program):
         sequence = reader.read_varint()
         reader.expect_end()
         self.ibc.confirm_ack(port, channel, sequence)
+        ctx.chain.sim.trace.count("guest.acks.sealed")
 
     # ------------------------------------------------------------------
     # Self-destruction (§VI-A)

@@ -131,6 +131,12 @@ class AccountsDb:
         account.owner = owner
         return account
 
+    def remove(self, address: Address) -> None:
+        """Delete an account entirely (transaction rollback of a
+        just-created account — unlike :meth:`deallocate`, nothing is
+        refunded because nothing survives)."""
+        self._accounts.pop(address, None)
+
     def deallocate(self, address: Address, refund_to: Address) -> int:
         """Delete an account's data, refunding the rent deposit.
 

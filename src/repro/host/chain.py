@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -99,6 +100,12 @@ class HostChain:
         self._subscribers: dict[str, list[Callable[[HostEvent], None]]] = {}
         self._rng = sim.rng.fork("host-chain")
         self._spike_cache: dict[int, bool] = {}
+        #: Root of the per-hour spike sub-streams.  Minted once at
+        #: construction without consuming a draw, so the spike schedule
+        #: is a pure function of the chain's seed and the hour —
+        #: independent of the order in which callers query
+        #: :meth:`congestion_at` and of every other actor's draws.
+        self._spike_seed = self._rng.derived_seed("congestion-spikes")
         self._slot_handle = sim.schedule(self.config.slot_seconds, self._produce_slot)
 
     # ------------------------------------------------------------------
@@ -130,6 +137,8 @@ class HostChain:
         """
         transaction.check_size(self.config.max_transaction_bytes)
         arrival = self._submit_latency()
+        self.sim.trace.count("host.tx.submitted")
+        self.sim.trace.begin("host.submit", key=transaction.tx_id, actor="host")
         self.sim.schedule(arrival, self._arrive, transaction, on_result, None, 0, None)
 
     def submit_bundle(
@@ -158,8 +167,11 @@ class HostChain:
 
         arrival = self._submit_latency()
         peers: list[_PendingTx] = []
+        self.sim.trace.count("host.bundles.submitted")
         for index, transaction in enumerate(transactions):
             tip = tip_lamports if index == 0 else 0
+            self.sim.trace.count("host.tx.submitted")
+            self.sim.trace.begin("host.submit", key=transaction.tx_id, actor="host")
             self.sim.schedule(
                 arrival, self._arrive, transaction, collect, bundle_id, tip, peers,
             )
@@ -175,6 +187,8 @@ class HostChain:
         bundle_tip: int,
         bundle_peers: Optional[list[_PendingTx]],
     ) -> None:
+        self.sim.trace.finish("host.submit", key=transaction.tx_id)
+        self.sim.trace.begin("host.mempool", key=transaction.tx_id, actor="host")
         congestion = self.congestion_at(self.sim.now)
         delay = transaction.fee_strategy.scheduling_delay(self._rng, congestion)
         pending = _PendingTx(
@@ -201,13 +215,17 @@ class HostChain:
     def congestion_at(self, time: float) -> float:
         """Mempool congestion level in [0, 1] at a simulated time.
 
-        Baseline + diurnal sinusoid + occasional hour-long spikes (drawn
-        deterministically per hour from the seeded RNG).
+        Baseline + diurnal sinusoid + occasional hour-long spikes.  Each
+        hour's spike flag comes from its own deterministic sub-stream
+        (seeded by ``(chain seed, hour)``), never from the shared fork
+        RNG: querying hours in any order — or under any workload — yields
+        the same spike schedule for the same simulation seed.
         """
         hour = int(time // 3600)
         spike = self._spike_cache.get(hour)
         if spike is None:
-            spike = self._rng.bernoulli(self.config.spike_probability)
+            draw = random.Random((self._spike_seed << 20) ^ hour).random()
+            spike = draw < self.config.spike_probability
             self._spike_cache[hour] = spike
         if spike:
             return self.config.spike_congestion
@@ -222,18 +240,21 @@ class HostChain:
 
     def _produce_slot(self) -> None:
         self.slot += 1
+        trace = self.sim.trace
+        trace.gauge("host.mempool.depth", len(self._mempool))
         block = HostBlock(slot=self.slot, time=self.sim.now)
 
         ready = [p for p in self._mempool if p.ready_time <= self.sim.now]
         ready.sort(key=lambda p: (p.ready_time, p.transaction.tx_id))
-        ready = ready[: self.config.block_tx_limit]
-        taken = set(map(id, ready))
+        selected, rejected_bundles = self._select_for_block(ready)
+        taken = {id(p) for p in selected}
+        taken.update(id(p) for members in rejected_bundles for p in members)
         self._mempool = [p for p in self._mempool if id(p) not in taken]
 
         # Group bundle members so they execute consecutively/atomically.
-        singles = [p for p in ready if p.bundle_id is None]
+        singles = [p for p in selected if p.bundle_id is None]
         bundles: dict[int, list[_PendingTx]] = {}
-        for pending in ready:
+        for pending in selected:
             if pending.bundle_id is not None:
                 bundles.setdefault(pending.bundle_id, []).append(pending)
 
@@ -242,7 +263,10 @@ class HostChain:
             self._finish(pending, receipt, block)
         for members in bundles.values():
             self._execute_bundle(members, block)
+        for members in rejected_bundles:
+            self._reject_bundle(members, block)
 
+        trace.count("host.blocks")
         self.blocks.append(block)
         retain = self.config.retain_blocks
         if retain is not None and len(self.blocks) > 2 * retain:
@@ -250,6 +274,68 @@ class HostChain:
         for event in block.events:
             self._dispatch(event)
         self._slot_handle = self.sim.schedule(self.config.slot_seconds, self._produce_slot)
+
+    def _select_for_block(
+        self, ready: list[_PendingTx],
+    ) -> tuple[list[_PendingTx], list[list[_PendingTx]]]:
+        """Pick the transactions this block executes, honouring both the
+        block transaction limit and bundle atomicity.
+
+        A bundle is included only if *all* its ready members fit in the
+        remaining capacity; otherwise the whole bundle defers to a later
+        slot (Jito semantics — truncating mid-bundle would execute it
+        partially, violating :meth:`submit_bundle`'s contract).  A bundle
+        larger than the block limit itself can never land and is
+        rejected outright (second return value) rather than deferred
+        forever.
+        """
+        limit = self.config.block_tx_limit
+        selected: list[_PendingTx] = []
+        rejected: list[list[_PendingTx]] = []
+        by_bundle: dict[int, list[_PendingTx]] = {}
+        for pending in ready:
+            if pending.bundle_id is not None:
+                by_bundle.setdefault(pending.bundle_id, []).append(pending)
+
+        considered: set[int] = set()
+        for pending in ready:
+            if pending.bundle_id is None:
+                if len(selected) < limit:
+                    selected.append(pending)
+                continue
+            if pending.bundle_id in considered:
+                continue
+            considered.add(pending.bundle_id)
+            group = by_bundle[pending.bundle_id]
+            expected = (
+                len(pending.bundle_peers)
+                if pending.bundle_peers is not None else len(group)
+            )
+            if len(group) < expected:
+                continue  # a member is still in transit; wait for it
+            if len(group) > limit:
+                rejected.append(group)
+                continue
+            if len(selected) + len(group) > limit:
+                self.sim.trace.count("host.bundles.deferred")
+                continue
+            selected.extend(group)
+        return selected, rejected
+
+    def _reject_bundle(self, members: list[_PendingTx], block: HostBlock) -> None:
+        """Fail a bundle that can never fit any block (no fee charged —
+        it is dropped before execution, like an oversized Jito bundle)."""
+        self.sim.trace.count("host.bundles.rejected")
+        for pending in members:
+            receipt = TxReceipt(
+                tx_id=pending.transaction.tx_id, slot=self.slot,
+                time=self.sim.now, success=False, fee_paid=0,
+                compute_consumed=0,
+                error=f"bundle of {len(members)} transactions exceeds the "
+                      f"block limit of {self.config.block_tx_limit}",
+                bundle_id=pending.bundle_id,
+            )
+            self._finish(pending, receipt, block)
 
     def _execute_bundle(self, members: list[_PendingTx], block: HostBlock) -> None:
         """Run a bundle atomically: snapshot across all members, roll the
@@ -306,6 +392,7 @@ class HostChain:
 
     def _execute(self, pending: _PendingTx, block: HostBlock) -> TxReceipt:
         transaction = pending.transaction
+        self.sim.trace.finish("host.mempool", key=transaction.tx_id)
         fee = self._fee_for(pending)
         try:
             self.accounts.burn_fee(transaction.payer, fee)
@@ -376,9 +463,20 @@ class HostChain:
         )
 
     def _finish(self, pending: _PendingTx, receipt: TxReceipt, block: HostBlock) -> None:
+        trace = self.sim.trace
+        if receipt.success:
+            trace.count("host.tx.executed")
+            trace.observe("host.cu_consumed", receipt.compute_consumed)
+        else:
+            trace.count("host.tx.failed")
+            # A deferred-then-rejected bundle member still holds an open
+            # mempool span; close it so the report has no dangling work.
+            trace.finish("host.mempool", key=receipt.tx_id)
+        trace.observe("host.fee_paid", receipt.fee_paid)
         block.receipts.append(receipt)
         if pending.on_result is not None:
             delay = self._rng.expovariate(1.0 / self.config.observe_delay_mean)
+            trace.observe("host.observe_delay", delay)
             self.sim.schedule(delay, pending.on_result, receipt)
 
     def _snapshot(self, addresses: set[Address]) -> dict[Address, Optional[tuple]]:
@@ -392,8 +490,12 @@ class HostChain:
         for address, snap in snapshots.items():
             account = self.accounts.get(address)
             if snap is None:
+                # The account did not exist before this transaction:
+                # remove it outright.  Restoring an empty shell instead
+                # would leave a phantom account behind — visible to
+                # existence checks and double-allocation guards.
                 if account is not None:
-                    account.restore((0, b"", None))
+                    self.accounts.remove(address)
             else:
                 self.accounts.account(address).restore(snap)
 
@@ -409,6 +511,8 @@ class HostChain:
     def _dispatch(self, event: HostEvent) -> None:
         for callback in self._subscribers.get(event.name, ()):
             delay = self._rng.expovariate(1.0 / self.config.observe_delay_mean)
+            self.sim.trace.count("host.events.delivered")
+            self.sim.trace.observe("host.observe_delay", delay)
             self.sim.schedule(delay, callback, event)
 
     # ------------------------------------------------------------------

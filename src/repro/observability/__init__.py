@@ -1,0 +1,22 @@
+"""Simulation-time observability: tracing spans, counters, histograms.
+
+The subsystem has two halves:
+
+* :mod:`repro.observability.trace` — the recording side.  A
+  :class:`Tracer` hangs off the simulation kernel (``sim.trace``) and
+  records simulated-time spans keyed by actor and correlation id,
+  monotonic counters, streaming histograms and sampled gauges.  The
+  default is a :class:`NullTracer` whose methods are no-ops, so an
+  uninstrumented run pays one method call per probe and nothing else.
+* :mod:`repro.observability.report` — the read side.  A
+  :class:`TraceReport` turns the recorded series into the per-phase
+  latency decompositions, fee histograms and queue-depth summaries the
+  §V experiments report, as JSON or pretty tables.
+
+See docs/OBSERVABILITY.md for the span and counter taxonomy.
+"""
+
+from repro.observability.report import TraceReport
+from repro.observability.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "TraceReport", "Tracer"]

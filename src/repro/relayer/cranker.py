@@ -49,8 +49,10 @@ class Cranker:
         return self.sim.now - head.header.timestamp >= self.contract.config.delta_seconds
 
     def _poll(self) -> None:
+        self.sim.trace.count("cranker.polls")
         if not self.paused and not self._in_flight and self._should_generate():
             self._in_flight = True
+            self.sim.trace.count("cranker.cranks")
             self.api.generate_block(on_result=self._done)
         self.sim.schedule(self._jittered(), self._poll)
 
@@ -58,5 +60,7 @@ class Cranker:
         self._in_flight = False
         if receipt.success:
             self.blocks_cranked += 1
+        else:
+            self.sim.trace.count("cranker.races")
         # Failures are expected races (someone else cranked, or the head
         # became stale between poll and execution); the next poll retries.

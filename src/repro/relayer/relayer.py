@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import ReproError
+from repro.errors import KeyNotFoundError, ReproError
 from repro.guest.api import DeliveryResult, GuestApi, LcUpdateResult
 from repro.guest.contract import GuestContract
 from repro.host.chain import HostChain
@@ -156,8 +156,8 @@ class Relayer:
             for packet in packets:
                 self._deliver_to_counterparty(packet, height)
             self._return_guest_acks(height)
-            for _, action in waiters:
-                action(height)
+            for min_slot, action in waiters:
+                self._run_waiter(min_slot, action, height)
 
         self.counterparty.submit(
             lambda: self.guest_client.update(update), on_result=after_update,
@@ -170,10 +170,17 @@ class Relayer:
             paths.commitment_prefix(packet.source_port, packet.source_channel),
             packet.sequence,
         )
+        # Finalised on the guest -> committed on the counterparty (the
+        # tail of the packet's trace tree).
+        self.sim.trace.begin("packet.relay", key=packet.sequence, actor="relayer")
 
         def after_recv(result, cp_height: int) -> None:
             if isinstance(result, ReproError):
+                self.sim.trace.count("relay.duplicate_deliveries")
                 return  # e.g. double delivery by a competing relayer
+            self.sim.trace.finish("packet.relay", key=packet.sequence,
+                                  cp_height=cp_height)
+            self.sim.trace.count("relay.packets.to_counterparty")
             self.metrics.packets_relayed_to_counterparty += 1
             # The counterparty wrote its ack at cp_height; bring it home.
             self._queue_guest_work(
@@ -237,10 +244,18 @@ class Relayer:
             packet.sequence,
         )
 
+        delivery_span = self.sim.trace.span(
+            "packet.deliver_to_guest", key=packet.sequence, actor="relayer",
+        )
+
         def done(result: DeliveryResult) -> None:
+            delivery_span.end(transactions=result.transaction_count)
             self.metrics.deliveries.append(result)
             self.ledger.record("delivery", result.total_fee, result.transaction_count)
+            self.sim.trace.observe("relay.delivery.fee", result.total_fee)
+            self.sim.trace.observe("relay.delivery.txs", result.transaction_count)
             if result.success:
+                self.sim.trace.count("relay.packets.to_guest")
                 self.metrics.packets_relayed_to_guest += 1
 
         self.api.deliver_packet(
@@ -312,6 +327,7 @@ class Relayer:
             return
         self._lc_busy = True
         update = self.counterparty.light_client_update(target)
+        self.sim.trace.begin("relay.lc_update", key=target, actor="relayer")
         self.api.submit_lc_update(
             update,
             window=self.config.lc_update_window,
@@ -320,6 +336,13 @@ class Relayer:
 
     def _lc_done(self, result: LcUpdateResult) -> None:
         self._lc_busy = False
+        trace = self.sim.trace
+        trace.finish("relay.lc_update", key=result.height,
+                     transactions=result.transaction_count,
+                     success=result.success)
+        trace.count("relay.lc_updates")
+        trace.observe("relay.lc_update.txs", result.transaction_count)
+        trace.observe("relay.lc_update.fee", result.total_fee)
         self.metrics.lc_updates.append(result)
         self.ledger.record("lc-update", result.total_fee, result.transaction_count)
         if result.success:
@@ -376,11 +399,26 @@ class Relayer:
                 # client now tracks): wait for the next finalised block.
                 self._finalised_waiters.append((min_slot, then))
                 return
-            then(header.height)
+            self._run_waiter(min_slot, then, header.height)
 
         self.counterparty.submit(
             lambda: self.guest_client.update(update), on_result=after_update,
         )
+
+    def _run_waiter(self, min_slot: int, action: Callable[[int], None],
+                    height: int) -> None:
+        """Fire a finalised-block waiter, tolerating the same-slot race.
+
+        A guest block generated in the *same* host slot as the mutation
+        the waiter needs — but earlier within that slot's block — carries
+        ``host_slot == min_slot`` while its state view predates the
+        write, so proving the path raises.  Requeue the waiter for a
+        strictly later block (the Δ rule guarantees one comes).
+        """
+        try:
+            action(height)
+        except KeyNotFoundError:
+            self._finalised_waiters.append((min_slot + 1, action))
 
     def open_connection(self, cp_client_id_on_guest: ClientId,
                         on_open: Callable[[ConnectionId, ConnectionId], None]) -> None:

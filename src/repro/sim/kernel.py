@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.observability.trace import NULL_TRACER
 from repro.sim.rng import Rng
 
 
@@ -43,9 +44,13 @@ class EventHandle:
 class Simulation:
     """Deterministic discrete-event simulation loop."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tracer=None) -> None:
         self.now: float = 0.0
         self.rng = Rng(seed)
+        #: Observability hook (docs/OBSERVABILITY.md).  Disabled by
+        #: default: the shared NullTracer makes every probe a no-op.
+        self.trace = tracer if tracer is not None else NULL_TRACER
+        self.trace.bind(lambda: self.now)
         self._queue: list[_QueueEntry] = []
         self._sequence = 0
         self._running = False
@@ -67,6 +72,7 @@ class Simulation:
         handle = EventHandle(callback, args)
         self._sequence += 1
         heapq.heappush(self._queue, _QueueEntry(time, self._sequence, handle))
+        self.trace.count("sim.events.scheduled")
         return handle
 
     # ------------------------------------------------------------------
@@ -78,8 +84,10 @@ class Simulation:
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.handle.cancelled:
+                self.trace.count("sim.events.cancelled")
                 continue
             self.now = entry.time
+            self.trace.count("sim.events.dispatched")
             entry.handle.callback(*entry.handle.args)
             return True
         return False
@@ -95,8 +103,10 @@ class Simulation:
                 break
             heapq.heappop(self._queue)
             if entry.handle.cancelled:
+                self.trace.count("sim.events.cancelled")
                 continue
             self.now = entry.time
+            self.trace.count("sim.events.dispatched")
             entry.handle.callback(*entry.handle.args)
         self.now = time
 

@@ -13,6 +13,7 @@ profiles are calibrated.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import Sequence
@@ -48,11 +49,22 @@ class Rng:
         the built-in ``hash``, which is salted per process and would
         break cross-run determinism).
         """
-        import hashlib
         label_bits = int.from_bytes(
             hashlib.sha256(label.encode("utf-8")).digest()[:8], "big",
         )
         return Rng(self._random.randrange(1 << 62) ^ (label_bits & ((1 << 62) - 1)))
+
+    def derived_seed(self, label: str) -> int:
+        """A reproducible sub-seed that does **not** advance this stream.
+
+        Unlike :meth:`fork`, reading the current state consumes no draw,
+        so callers can mint a seed for an out-of-band generator (e.g. the
+        host's per-hour congestion-spike schedule) without perturbing any
+        draw the rest of the simulation would have made.
+        """
+        preimage = repr(self._random.getstate()).encode("utf-8") \
+            + b"\x00" + label.encode("utf-8")
+        return int.from_bytes(hashlib.sha256(preimage).digest()[:8], "big")
 
     # -- primitives ------------------------------------------------------
 

@@ -356,6 +356,243 @@ class TestAccountsAndRent:
             chain.accounts.allocate(PAYER, addr, 64, program.program_id)
 
 
+class TestBundleBlockBoundary:
+    """A bundle must never be split by the block transaction limit."""
+
+    def _inject(self, chain, transactions, bundle_id=None, on_result=None):
+        """Place pending transactions straight into the mempool with
+        ready_time 0 (skipping the stochastic submit/scheduling delays),
+        exactly as _arrive would leave them."""
+        from repro.host.chain import _PendingTx
+        peers = [] if bundle_id is not None else None
+        for tx in transactions:
+            pending = _PendingTx(
+                transaction=tx, ready_time=0.0, on_result=on_result,
+                bundle_id=bundle_id, bundle_tip=0, bundle_peers=peers,
+            )
+            if peers is not None:
+                peers.append(pending)
+            chain._mempool.append(pending)
+
+    def test_bundle_defers_whole_when_block_is_full(self):
+        sim = Simulation(seed=9)
+        chain = HostChain(sim, SimSigScheme(), HostConfig(block_tx_limit=4))
+        chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+        program = CounterProgram()
+        chain.deploy(program)
+        state = Address.derive("counter-state")
+
+        receipts = []
+        singles = [make_tx(program, state) for _ in range(3)]
+        bundle = [make_tx(program, state) for _ in range(2)]
+        self._inject(chain, singles, on_result=receipts.append)
+        self._inject(chain, bundle, bundle_id=777, on_result=receipts.append)
+        sim.run_until(30.0)
+
+        assert len(receipts) == 5
+        assert all(r.success for r in receipts)
+        bundle_slots = {r.slot for r in receipts if r.bundle_id == 777}
+        single_slots = {r.slot for r in receipts if r.bundle_id is None}
+        # The three singles fill the first block; the bundle (2 members,
+        # 1 slot of room) must defer whole to the next slot — not split.
+        assert len(bundle_slots) == 1
+        assert bundle_slots == {min(single_slots) + 1}
+
+    def test_bundle_larger_than_block_limit_fails_atomically(self):
+        sim = Simulation(seed=9)
+        chain = HostChain(sim, SimSigScheme(), HostConfig(block_tx_limit=1))
+        chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+        program = CounterProgram()
+        chain.deploy(program)
+        state = Address.derive("counter-state")
+
+        results = []
+        txs = [make_tx(program, state) for _ in range(3)]
+        chain.submit_bundle(txs, tip_lamports=1_000, on_result=results.append)
+        sim.run_until(30.0)
+
+        (receipts,) = results
+        # Can never fit any block: every member fails, nothing executes,
+        # no fee is charged — instead of executing one-per-slot.
+        assert [r.success for r in receipts] == [False, False, False]
+        assert all("block limit" in r.error for r in receipts)
+        assert all(r.fee_paid == 0 for r in receipts)
+        assert chain.accounts.get(state) is None
+
+    def test_deferred_bundle_still_lands_atomically(self):
+        """End-to-end through submit_bundle under a tiny limit: whatever
+        slot the bundle lands in, all members share it."""
+        sim = Simulation(seed=21)
+        chain = HostChain(sim, SimSigScheme(), HostConfig(block_tx_limit=2))
+        chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+        program = CounterProgram()
+        chain.deploy(program)
+        state = Address.derive("counter-state")
+
+        results = []
+        for _ in range(6):
+            chain.submit(make_tx(program, state))
+        chain.submit_bundle(
+            [make_tx(program, state) for _ in range(2)],
+            tip_lamports=1_000, on_result=results.append,
+        )
+        sim.run_until(60.0)
+        (receipts,) = results
+        assert all(r.success for r in receipts)
+        assert len({r.slot for r in receipts}) == 1
+
+
+class CreatorProgram(Program):
+    """Test program: touches (and thereby creates) its first account,
+    then optionally fails — the rollback-phantom scenario."""
+
+    def __init__(self):
+        self._id = Address.derive("creator-program")
+
+    @property
+    def program_id(self) -> Address:
+        return self._id
+
+    def execute(self, ctx: InvokeContext, data: bytes) -> None:
+        account = ctx.account(ctx.instruction_accounts[0])
+        account.data = bytearray(b"created!")
+        if data == b"fail":
+            raise ProgramError("told to fail after creating")
+
+
+class TestRollbackRemovesPhantomAccounts:
+    """A rolled-back transaction must not leave zero-lamport phantom
+    accounts for addresses that did not exist before it ran."""
+
+    @pytest.fixture
+    def env(self):
+        sim = Simulation(seed=5)
+        chain = HostChain(sim, SimSigScheme(), HostConfig())
+        chain.airdrop(PAYER, sol_to_lamports(1_000.0))
+        program = CreatorProgram()
+        chain.deploy(program)
+        return sim, chain, program
+
+    def test_failed_tx_leaves_no_phantom_account(self, env):
+        sim, chain, program = env
+        fresh = Address.derive("never-existed")
+        assert chain.accounts.get(fresh) is None
+        before = len(chain.accounts)
+
+        results = []
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(program.program_id, (fresh,), b"fail"),),
+            fee_strategy=BaseFee(),
+        )
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+
+        assert not results[0].success
+        assert chain.accounts.get(fresh) is None, "phantom account left behind"
+        assert len(chain.accounts) == before
+
+    def test_successful_tx_keeps_created_account(self, env):
+        sim, chain, program = env
+        fresh = Address.derive("kept")
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(program.program_id, (fresh,), b"ok"),),
+            fee_strategy=BaseFee(),
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert results[0].success
+        assert chain.accounts.get(fresh) is not None
+        assert bytes(chain.accounts.account(fresh).data) == b"created!"
+
+    def test_failed_bundle_leaves_no_phantom_accounts(self, env):
+        sim, chain, program = env
+        fresh = Address.derive("bundle-fresh")
+        txs = [
+            Transaction(
+                payer=PAYER,
+                instructions=(Instruction(program.program_id, (fresh,), b"ok"),),
+                fee_strategy=BaseFee(),
+            ),
+            Transaction(
+                payer=PAYER,
+                instructions=(Instruction(program.program_id, (fresh,), b"fail"),),
+                fee_strategy=BaseFee(),
+            ),
+        ]
+        results = []
+        chain.submit_bundle(txs, tip_lamports=1_000, on_result=results.append)
+        sim.run_until(30.0)
+        (receipts,) = results
+        assert not any(r.success for r in receipts)
+        assert chain.accounts.get(fresh) is None
+
+    def test_pre_existing_account_restored_not_removed(self, env):
+        sim, chain, program = env
+        existing = Address.derive("existing")
+        chain.airdrop(existing, 123)
+
+        tx = Transaction(
+            payer=PAYER,
+            instructions=(Instruction(program.program_id, (existing,), b"fail"),),
+            fee_strategy=BaseFee(),
+        )
+        results = []
+        chain.submit(tx, on_result=results.append)
+        sim.run_until(30.0)
+        assert not results[0].success
+        account = chain.accounts.get(existing)
+        assert account is not None
+        assert account.lamports == 123
+        assert bytes(account.data) == b""
+
+
+class TestCongestionDeterminism:
+    """The per-hour spike schedule must depend only on the seed, never
+    on the order (or volume) of congestion_at queries."""
+
+    HOURS = list(range(48))
+
+    def _schedule(self, seed, query_order, perturb=False):
+        sim = Simulation(seed=seed)
+        chain = HostChain(sim, SimSigScheme(), HostConfig(spike_probability=0.3))
+        flags = {}
+        for hour in query_order:
+            if perturb:
+                # Interleave unrelated draws on the chain's shared fork
+                # RNG, as a different workload would.
+                chain._rng.random()
+            flags[hour] = chain.congestion_at(hour * 3600.0 + 10.0) \
+                == chain.config.spike_congestion
+        return [flags[hour] for hour in self.HOURS]
+
+    def test_query_order_does_not_change_spikes(self):
+        ascending = self._schedule(77, self.HOURS)
+        descending = self._schedule(77, list(reversed(self.HOURS)))
+        assert ascending == descending
+
+    def test_interleaved_rng_draws_do_not_change_spikes(self):
+        plain = self._schedule(77, self.HOURS)
+        perturbed = self._schedule(77, self.HOURS, perturb=True)
+        assert plain == perturbed
+
+    def test_schedule_varies_by_hour_and_seed(self):
+        flags = self._schedule(77, self.HOURS)
+        assert any(flags) and not all(flags)
+        assert self._schedule(78, self.HOURS) != flags
+
+    def test_same_hour_spike_flag_is_cached_and_stable(self):
+        sim = Simulation(seed=3)
+        chain = HostChain(sim, SimSigScheme(), HostConfig(spike_probability=1.0))
+        # Every hour spikes: the level pins to spike_congestion all hour,
+        # however often (and wherever in the hour) it is queried.
+        for offset in (0.0, 100.0, 3599.0):
+            level = chain.congestion_at(7 * 3600.0 + offset)
+            assert level == chain.config.spike_congestion
+
+
 class TestDeterminism:
     def test_same_seed_same_trace(self):
         def run(seed):

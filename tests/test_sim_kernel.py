@@ -94,6 +94,67 @@ class TestScheduling:
             sim.run(max_events=100)
 
 
+class TestCancellationEdgeCases:
+    def test_cancel_head_of_queue_event(self):
+        """Cancelling the event at the head of the heap must not stall
+        the loop or fire the cancelled callback."""
+        sim = Simulation(seed=1)
+        fired = []
+        head = sim.schedule(1.0, fired.append, "head")
+        sim.schedule(2.0, fired.append, "tail")
+        head.cancel()
+        assert sim.step() is True      # skips the cancelled head, runs tail
+        assert fired == ["tail"]
+        assert sim.now == 2.0
+
+    def test_cancel_head_then_run_until(self):
+        sim = Simulation(seed=1)
+        fired = []
+        head = sim.schedule(1.0, fired.append, "head")
+        sim.schedule(3.0, fired.append, "tail")
+        head.cancel()
+        sim.run_until(3.0)
+        assert fired == ["tail"]
+        assert sim.now == 3.0
+
+    def test_run_until_exactly_at_event_time_is_inclusive(self):
+        sim = Simulation(seed=1)
+        fired = []
+        sim.schedule(5.0, fired.append, "boundary")
+        sim.run_until(5.0)
+        assert fired == ["boundary"]
+        assert sim.now == 5.0
+        assert sim.pending_events() == 0
+
+    def test_run_until_boundary_fires_all_equal_time_events(self):
+        sim = Simulation(seed=1)
+        fired = []
+        for label in "abc":
+            sim.schedule(5.0, fired.append, label)
+        sim.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_pending_events_after_mass_cancellation(self):
+        sim = Simulation(seed=1)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        assert sim.pending_events() == 100
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending_events() == 0
+        # The heap still holds the tombstones; draining must be a no-op.
+        assert sim.step() is False
+        assert sim.now == 0.0
+
+    def test_cancel_event_scheduled_for_now(self):
+        sim = Simulation(seed=1)
+        fired = []
+        handle = sim.schedule(0.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending_events() == 0
+
+
 class TestDeterminism:
     def test_same_seed_same_draws(self):
         a, b = Rng(42), Rng(42)
