@@ -21,7 +21,10 @@ from repro.experiments.evaluation import EvaluationConfig, EvaluationRun
 from repro.experiments.storage import measure_capacity, sealing_ablation
 
 _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
-_ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage"})
+#: ``throughput-smoke`` is CI-only (scaled-down, asserting) and not part
+#: of ``all``.
+_ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
+_EXTRA_TARGETS = {"throughput-smoke"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,7 +44,7 @@ def main(argv: list[str] | None = None) -> int:
     targets = set(args.targets) or {"all"}
     if "all" in targets:
         targets = set(_ALL_TARGETS)
-    unknown = targets - set(_ALL_TARGETS)
+    unknown = targets - set(_ALL_TARGETS) - _EXTRA_TARGETS
     if unknown:
         parser.error(f"unknown targets: {', '.join(sorted(unknown))}")
 
@@ -79,6 +82,31 @@ def main(argv: list[str] | None = None) -> int:
 
     if "storage" in targets:
         blocks.append(report.render_storage(measure_capacity(), sealing_ablation()))
+
+    if targets & {"throughput", "throughput-smoke"}:
+        import json
+
+        from repro.experiments.throughput import (
+            check_smoke, render_sweep, run_throughput_smoke,
+            run_throughput_sweep,
+        )
+        smoke = "throughput-smoke" in targets
+        started = time.time()
+        print("Running the throughput sweep"
+              + (" (smoke scale)" if smoke else "") + "...", file=sys.stderr)
+        results = run_throughput_smoke() if smoke else run_throughput_sweep()
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_sweep(results))
+        suffix = "_smoke" if smoke else ""
+        with open(f"BENCH_throughput{suffix}.json", "w") as handle:
+            json.dump(results, handle, indent=2)
+        if smoke:
+            failures = check_smoke(results)
+            if failures:
+                print("\n\n".join(blocks))
+                for failure in failures:
+                    print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+                return 1
 
     print("\n\n".join(blocks))
     return 0

@@ -56,6 +56,32 @@ class DeliveryResult:
     slot: int
     success: bool
     error: Optional[str] = None
+    #: How many packet operations the bundle carried (1 unless batched).
+    packet_count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOp:
+    """One packet operation queued for a batched delivery bundle."""
+
+    kind: str  # "recv" | "ack" | "timeout"
+    packet: object
+    proof: object
+    proof_height: int
+    ack: object = None
+
+    def msg_bytes(self) -> bytes:
+        msg = ins.BufferedPacketMsg(
+            packet_bytes=self.packet.to_bytes(),
+            proof_bytes=self.proof.to_bytes(),
+            proof_height=self.proof_height,
+            ack_bytes=self.ack.to_bytes() if self.ack is not None else b"",
+        )
+        return msg.to_bytes()
+
+    def exec_op(self) -> int:
+        return {"recv": ins.Op.RECV_EXEC, "ack": ins.Op.ACK_EXEC,
+                "timeout": ins.Op.TIMEOUT_EXEC}[self.kind]
 
 
 class GuestApi:
@@ -167,6 +193,30 @@ class GuestApi:
     def confirm_ack(self, port: str, channel: str, sequence: int,
                     on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
         self._single(ins.confirm_ack(port, channel, sequence), on_result=on_result)
+
+    def confirm_acks(self, confirms: list[tuple[str, str, int]],
+                     on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Seal several delivered acks with one multi-instruction
+        transaction per ~two dozen confirms, instead of one transaction
+        each — the ack-sealing counterpart of BATCH_EXEC coalescing."""
+        if not confirms:
+            return
+        per_tx = 24
+        for start in range(0, len(confirms), per_tx):
+            group = confirms[start : start + per_tx]
+            tx = Transaction(
+                payer=self.payer,
+                instructions=tuple(
+                    Instruction(
+                        self.contract.program_id,
+                        (self.contract.state_account, self.contract.treasury),
+                        ins.confirm_ack(port, channel, sequence),
+                    )
+                    for port, channel, sequence in group
+                ),
+                fee_strategy=self.default_fee,
+            )
+            self.chain.submit(tx, on_result=on_result)
 
     def submit_evidence(self, offender: PublicKey, height: int,
                         fingerprint: bytes, signature: Signature,
@@ -376,6 +426,124 @@ class GuestApi:
             proof_height=proof_height,
         )
         self._buffered_exec(msg.to_bytes(), ins.timeout_exec, tip_lamports, on_done)
+
+    # ------------------------------------------------------------------
+    # Batched packet operations (many packets, one bundle)
+    # ------------------------------------------------------------------
+
+    def batch_inline_budget(self) -> int:
+        """Instruction-data bytes available for inline batch entries."""
+        from repro.lightclient.chunked import usable_chunk_bytes
+        # Leave headroom for the opcode byte and the entry-count varint.
+        return usable_chunk_bytes(self.chain.config.max_transaction_bytes) - 8
+
+
+    def deliver_batch(self, ops: list[BatchOp], tip_lamports: int = 10_000,
+                      on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        """Coalesce several packet operations into one atomic bundle.
+
+        Small messages ride inline in the single BATCH_EXEC transaction;
+        messages that would blow the 1232-byte cap are staged through
+        CHUNK instructions — packed densely, several buffers' chunks per
+        transaction — and referenced by buffer id.  Against per-packet
+        delivery this drops the host transaction count from
+        ``N * (chunks + 1)`` to roughly ``total_bytes / chunk_size + 1``
+        and the bundle count from N to 1: the §V-A per-packet cost
+        amortises across the batch.
+        """
+        if not ops:
+            raise ValueError("empty delivery batch")
+        budget = self.batch_inline_budget()
+        limit = self.chain.config.max_transaction_bytes
+        # Envelope + payer signature + the {payer, program, state} keys.
+        base = 38 + 64 + 3 * 32
+        # Conservative bound per chunk instruction on top of its piece:
+        # instruction frame (5) plus the chunk header varints (<= 16).
+        ins_budget = 21
+        min_piece = 128
+
+        entries: list[ins.BatchEntry] = []
+        transactions: list[Transaction] = []
+        current: list[Instruction] = []
+        used = base
+
+        def flush() -> None:
+            nonlocal current, used
+            if current:
+                transactions.append(Transaction(
+                    payer=self.payer, instructions=tuple(current),
+                    fee_strategy=BaseFee(),
+                ))
+                current = []
+            used = base
+
+        def stage(msg_bytes: bytes) -> int:
+            """Append CHUNK instructions for ``msg_bytes``, filling the
+            open transaction before starting new ones.  Both the sizing
+            pass and the emitting pass use the same conservative byte
+            accounting, so their transaction boundaries agree."""
+            nonlocal used
+            buffer_id = next(_buffer_ids)
+            takes: list[int] = []
+            simulated, offset = used, 0
+            while offset < len(msg_bytes) or not takes:
+                space = limit - simulated - ins_budget
+                if space < min_piece and simulated > base:
+                    simulated = base
+                    continue
+                take = min(space, len(msg_bytes) - offset)
+                takes.append(take)
+                offset += take
+                simulated += ins_budget + take
+            offset = 0
+            for index, take in enumerate(takes):
+                if used + ins_budget + take > limit:
+                    flush()
+                current.append(Instruction(
+                    self.contract.program_id,
+                    (self.contract.state_account,),
+                    ins.chunk(buffer_id, index, len(takes),
+                              msg_bytes[offset : offset + take]),
+                ))
+                used += ins_budget + take
+                offset += take
+            return buffer_id
+
+        inline_used = 0
+        for op in ops:
+            msg_bytes = op.msg_bytes()
+            entry = ins.BatchEntry(kind=int(op.exec_op()), inline=msg_bytes)
+            if inline_used + entry.encoded_bytes() > budget:
+                entry = ins.BatchEntry(
+                    kind=int(op.exec_op()), buffer_id=stage(msg_bytes),
+                )
+            entries.append(entry)
+            inline_used += entry.encoded_bytes()
+        flush()
+        transactions.append(Transaction(
+            payer=self.payer,
+            instructions=(Instruction(
+                self.contract.program_id,
+                (self.contract.state_account, self.contract.treasury),
+                ins.batch_exec(entries),
+            ),),
+            fee_strategy=BaseFee(),
+        ))
+
+        def collect(receipts: list[TxReceipt]) -> None:
+            if on_done is not None:
+                failures = [r for r in receipts if not r.success]
+                on_done(DeliveryResult(
+                    transaction_count=len(receipts),
+                    total_fee=sum(r.fee_paid for r in receipts),
+                    slot=receipts[-1].slot,
+                    success=not failures,
+                    error=failures[0].error if failures else None,
+                    packet_count=len(ops),
+                ))
+
+        self.chain.submit_bundle(transactions, tip_lamports=tip_lamports,
+                                 on_result=collect)
 
 
 def _track(state: dict, receipt: TxReceipt) -> None:

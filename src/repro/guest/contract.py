@@ -182,6 +182,8 @@ class GuestContract(Program):
         elif opcode == Op.HANDSHAKE_EXEC:
             buffer = self._consume_buffer(ctx.payer, reader.read_varint())
             self._op_handshake(ctx, buffer.assembled())
+        elif opcode == Op.BATCH_EXEC:
+            self._op_batch_exec(ctx, reader)
         elif opcode == Op.SELF_DESTRUCT:
             self._op_self_destruct(ctx)
         elif opcode == Op.CLAIM_REWARDS:
@@ -550,7 +552,24 @@ class GuestContract(Program):
         buffer_id = reader.read_varint()
         reader.expect_end()
         buffer = self._consume_buffer(ctx.payer, buffer_id)
-        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+        self._exec_recv_msg(ctx, BufferedPacketMsg.from_bytes(buffer.assembled()))
+
+    def _op_ack_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        self._exec_ack_msg(ctx, BufferedPacketMsg.from_bytes(buffer.assembled()))
+
+    def _op_timeout_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        self._exec_timeout_msg(ctx, BufferedPacketMsg.from_bytes(buffer.assembled()))
+
+    def _exec_recv_msg(self, ctx: InvokeContext, msg: BufferedPacketMsg) -> None:
+        """Alg. 1's ReceivePacket body over one decoded message."""
         packet = Packet.from_bytes(msg.packet_bytes)
         proof = MembershipProof.from_bytes(msg.proof_bytes)
         ctx.meter.charge_hash(len(msg.proof_bytes))
@@ -562,12 +581,7 @@ class GuestContract(Program):
                  ack_success=ack.success, packet=packet,
                  ack_bytes=ack.to_bytes())
 
-    def _op_ack_exec(self, ctx: InvokeContext, reader: Reader) -> None:
-        self._require_initialized()
-        buffer_id = reader.read_varint()
-        reader.expect_end()
-        buffer = self._consume_buffer(ctx.payer, buffer_id)
-        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+    def _exec_ack_msg(self, ctx: InvokeContext, msg: BufferedPacketMsg) -> None:
         packet = Packet.from_bytes(msg.packet_bytes)
         ack = Acknowledgement.from_bytes(msg.ack_bytes)
         proof = MembershipProof.from_bytes(msg.proof_bytes)
@@ -576,18 +590,69 @@ class GuestContract(Program):
         ctx.emit("PacketAcknowledged", sequence=packet.sequence,
                  channel=str(packet.source_channel))
 
-    def _op_timeout_exec(self, ctx: InvokeContext, reader: Reader) -> None:
-        self._require_initialized()
-        buffer_id = reader.read_varint()
-        reader.expect_end()
-        buffer = self._consume_buffer(ctx.payer, buffer_id)
-        msg = BufferedPacketMsg.from_bytes(buffer.assembled())
+    def _exec_timeout_msg(self, ctx: InvokeContext, msg: BufferedPacketMsg) -> None:
         packet = Packet.from_bytes(msg.packet_bytes)
         proof = NonMembershipProof.from_bytes(msg.proof_bytes)
         ctx.meter.charge_hash(len(msg.proof_bytes))
         self.ibc.timeout_packet(packet, proof, msg.proof_height)
         ctx.emit("PacketTimedOut", sequence=packet.sequence,
                  channel=str(packet.source_channel))
+
+    def _op_batch_exec(self, ctx: InvokeContext, reader: Reader) -> None:
+        """Process a relayer-coalesced batch of packet operations.
+
+        The whole payload is decoded (and every referenced staging buffer
+        consumed) *before* any entry executes, so a malformed batch can
+        never abort halfway through.  Entries then run in order with
+        per-entry error isolation: every IBC handler raises before it
+        mutates the store, so a failed entry (bad proof, duplicate
+        delivery, expired packet) leaves the state untouched and its
+        neighbours unaffected.  One bad packet must not hold N-1 good
+        ones hostage — and a duplicate re-queued by a competing relayer
+        must not poison the batch.
+        """
+        from repro.errors import ReproError
+        from repro.guest.instructions import BATCH_MODE_BUFFERED, BATCH_MODE_INLINE
+        self._require_initialized()
+        count = reader.read_varint()
+        if count == 0:
+            raise ProgramError("empty batch")
+        staged: list[tuple[int, BufferedPacketMsg]] = []
+        for _ in range(count):
+            kind = reader.read(1)[0]
+            mode = reader.read(1)[0]
+            if mode == BATCH_MODE_INLINE:
+                raw = reader.read_bytes()
+            elif mode == BATCH_MODE_BUFFERED:
+                buffer = self._consume_buffer(ctx.payer, reader.read_varint())
+                raw = buffer.assembled()
+            else:
+                raise ProgramError(f"unknown batch entry mode {mode}")
+            staged.append((kind, BufferedPacketMsg.from_bytes(raw)))
+        reader.expect_end()
+
+        handlers = {
+            int(Op.RECV_EXEC): self._exec_recv_msg,
+            int(Op.ACK_EXEC): self._exec_ack_msg,
+            int(Op.TIMEOUT_EXEC): self._exec_timeout_msg,
+        }
+        trace = ctx.chain.sim.trace
+        failures: list[tuple[int, int, str]] = []
+        for index, (kind, msg) in enumerate(staged):
+            handler = handlers.get(kind)
+            if handler is None:
+                failures.append((index, kind, f"opcode {kind} not batchable"))
+                continue
+            try:
+                handler(ctx, msg)
+            except (ReproError, ValueError) as exc:
+                failures.append((index, kind, str(exc)))
+        trace.count("guest.batch.instructions")
+        trace.count("guest.batch.entries", count)
+        trace.count("guest.batch.entries_failed", len(failures))
+        trace.observe("guest.batch.size", count)
+        ctx.emit("BatchProcessed", total=count,
+                 ok=count - len(failures), failures=tuple(failures))
 
     def _op_confirm_ack(self, ctx: InvokeContext, reader: Reader) -> None:
         port = PortId(reader.read_bytes().decode())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.crypto.keys import PublicKey, Signature
 from repro.encoding import Reader, encode_bytes, encode_varint
@@ -37,6 +38,7 @@ class Op(enum.IntEnum):
     HANDSHAKE_EXEC = 16
     SELF_DESTRUCT = 17
     CLAIM_REWARDS = 18
+    BATCH_EXEC = 19
 
 
 # ---------------------------------------------------------------------------
@@ -150,6 +152,66 @@ def claim_message(public_key: PublicKey, payer_address: bytes) -> bytes:
     """What a validator signs to authorise paying its rewards to
     ``payer_address`` (prevents reward theft by third parties)."""
     return b"claim-rewards" + bytes(public_key) + payer_address
+
+
+# ---------------------------------------------------------------------------
+# Batched packet execution (relayer-side coalescing)
+# ---------------------------------------------------------------------------
+
+#: Entry modes inside a BATCH_EXEC payload.
+BATCH_MODE_INLINE = 0
+BATCH_MODE_BUFFERED = 1
+
+#: The exec opcodes a batch entry may carry.
+BATCHABLE_KINDS = (Op.RECV_EXEC, Op.ACK_EXEC, Op.TIMEOUT_EXEC)
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One packet operation inside a BATCH_EXEC instruction.
+
+    Small messages ride *inline* (the encoded :class:`BufferedPacketMsg`
+    is embedded in the batch instruction itself); oversized ones are
+    staged through CHUNK transactions first and referenced by buffer id.
+    """
+
+    kind: int  # Op.RECV_EXEC / Op.ACK_EXEC / Op.TIMEOUT_EXEC
+    inline: Optional[bytes] = None
+    buffer_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BATCHABLE_KINDS:
+            raise ValueError(f"opcode {self.kind} cannot ride in a batch")
+        if (self.inline is None) == (self.buffer_id is None):
+            raise ValueError("a batch entry is either inline or buffered")
+
+    def encoded_bytes(self) -> int:
+        """Wire size of this entry inside the batch instruction."""
+        if self.inline is not None:
+            return 2 + len(encode_bytes(self.inline))
+        return 2 + len(encode_varint(self.buffer_id))
+
+
+def batch_exec(entries: Sequence[BatchEntry]) -> bytes:
+    """Coalesce several packet operations into one instruction.
+
+    The Guest Contract processes the entries in order within a single
+    host transaction; each entry succeeds or fails individually (the
+    proof checks run *before* any store mutation, so one bad entry never
+    poisons its neighbours)."""
+    if not entries:
+        raise ValueError("empty batch")
+    out = bytearray([Op.BATCH_EXEC])
+    out += encode_varint(len(entries))
+    for entry in entries:
+        out.append(entry.kind)
+        if entry.inline is not None:
+            out.append(BATCH_MODE_INLINE)
+            out += encode_bytes(entry.inline)
+        else:
+            out.append(BATCH_MODE_BUFFERED)
+            out += encode_varint(entry.buffer_id)
+    return bytes(out)
 
 
 # ---------------------------------------------------------------------------

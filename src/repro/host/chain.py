@@ -244,12 +244,20 @@ class HostChain:
         trace.gauge("host.mempool.depth", len(self._mempool))
         block = HostBlock(slot=self.slot, time=self.sim.now)
 
-        ready = [p for p in self._mempool if p.ready_time <= self.sim.now]
+        # Single pass: split the mempool into ready candidates and the
+        # not-yet-ready remainder, instead of rescanning the whole pool a
+        # second time to subtract what the block took.
+        now = self.sim.now
+        ready: list[_PendingTx] = []
+        waiting: list[_PendingTx] = []
+        for pending in self._mempool:
+            (ready if pending.ready_time <= now else waiting).append(pending)
         ready.sort(key=lambda p: (p.ready_time, p.transaction.tx_id))
         selected, rejected_bundles = self._select_for_block(ready)
         taken = {id(p) for p in selected}
         taken.update(id(p) for members in rejected_bundles for p in members)
-        self._mempool = [p for p in self._mempool if id(p) not in taken]
+        waiting.extend(p for p in ready if id(p) not in taken)
+        self._mempool = waiting
 
         # Group bundle members so they execute consecutively/atomically.
         singles = [p for p in selected if p.bundle_id is None]

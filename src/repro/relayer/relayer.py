@@ -23,15 +23,16 @@ need and run as soon as an update covers it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import KeyNotFoundError, ReproError
-from repro.guest.api import DeliveryResult, GuestApi, LcUpdateResult
+from repro.guest.api import BatchOp, DeliveryResult, GuestApi, LcUpdateResult
 from repro.guest.contract import GuestContract
 from repro.host.chain import HostChain
 from repro.host.events import HostEvent
-from repro.host.fees import BaseFee, FeeStrategy
+from repro.host.fees import AdaptiveFee, BaseFee, FeeStrategy
 from repro.ibc import messages as msgs
 from repro.ibc import commitment as paths
 from repro.ibc.channel import ChannelOrder
@@ -57,6 +58,35 @@ class RelayerConfig:
     bundle_tip_lamports: int = 0
     #: Counterparty send-queue polling period, seconds.
     poll_seconds: float = 3.0
+    #: Maximum packet operations coalesced into one delivery bundle.
+    #: 1 (the default) keeps the classic one-bundle-per-packet flow of
+    #: §V-A; higher values enable BATCH_EXEC coalescing — pending
+    #: RecvPacket/ack work accumulates and flushes as a single bundle.
+    batch_max_packets: int = 1
+    #: How long a partially filled batch may wait before it is flushed.
+    batch_flush_seconds: float = 1.0
+    #: Cap on the transactions one coalesced bundle may need.  Bundles
+    #: schedule atomically, so a bundle larger than the host's block
+    #: transaction limit could never land; a flush whose staged bytes
+    #: would exceed this splits into several bundles.
+    batch_max_bundle_txs: int = 8
+    #: Optional backpressure: delivery bundles the relayer keeps in the
+    #: host mempool at once (``None`` = unbounded, the classic flow).
+    #: Excess bundles wait in the relayer's own queue instead of
+    #: deepening the mempool backlog.
+    max_inflight_bundles: Optional[int] = None
+    #: Price LC-update transactions with the §VI-B congestion-probing
+    #: :class:`~repro.host.fees.AdaptiveFee` instead of the flat base
+    #: fee.  Height updates gate every queued delivery, so letting them
+    #: crawl through a congestion spike at base-fee priority stalls the
+    #: whole pipeline for tens of seconds.
+    adaptive_lc_fees: bool = False
+    #: Minimum seconds between LC updates.  One update costs the same
+    #: dozens of transactions whether it advances the client by one
+    #: counterparty height or a hundred, so under sustained load a
+    #: hold-down makes each update cover more packets and shrinks the
+    #: per-packet share of the §V-A update tax.
+    lc_update_min_seconds: float = 0.0
 
 
 @dataclass
@@ -101,6 +131,8 @@ class Relayer:
         self.paused = False
         self._lc_busy = False
         self._lc_queue: list[tuple[int, Callable[[int], None]]] = []
+        self._lc_last_finish = float("-inf")
+        self._lc_holddown_handle = None
         self._cp_sends_seen = 0
         self._finalised_waiters: list[tuple[int, Callable[[int], None]]] = []
         self._last_relayed_guest_height = 0
@@ -108,6 +140,15 @@ class Relayer:
         self._pending_guest_acks: dict[tuple[str, int], tuple[Packet, Acknowledgement]] = {}
         self._handshake_waiter: Optional[Callable[[Optional[str], int], None]] = None
         self._missed_finalised: list[HostEvent] = []
+        #: Pending (op, span) pairs awaiting a batched flush.
+        self._pending_batch: list = []
+        self._batch_flush_handle = None
+        #: Delivery bundles not yet handed to the host (backpressure).
+        self._bundle_queue: deque[Callable[[], None]] = deque()
+        self._bundles_in_flight = 0
+        #: Ack confirmations awaiting a coalesced CONFIRM_ACK flush.
+        self._pending_confirms: list[tuple[str, str, int]] = []
+        self._confirm_flush_handle = None
 
         host.subscribe("FinalisedBlock", self._on_finalised_block)
         host.subscribe("PacketReceived", self._on_guest_packet_received)
@@ -202,14 +243,10 @@ class Relayer:
             paths.ack_prefix(packet.destination_port, packet.destination_channel),
             packet.sequence,
         )
-
-        def done(result: DeliveryResult) -> None:
-            self.metrics.acks_returned.append(result)
-            self.ledger.record("ack-return", result.total_fee, result.transaction_count)
-
-        self.api.acknowledge_packet(
-            packet, ack, proof, lc_height,
-            tip_lamports=self.config.bundle_tip_lamports, on_done=done,
+        self._dispatch_guest_op(
+            BatchOp(kind="ack", packet=packet, proof=proof,
+                    proof_height=lc_height, ack=ack),
+            span=None,
         )
 
     # ==================================================================
@@ -243,13 +280,67 @@ class Relayer:
             paths.commitment_prefix(packet.source_port, packet.source_channel),
             packet.sequence,
         )
-
         delivery_span = self.sim.trace.span(
             "packet.deliver_to_guest", key=packet.sequence, actor="relayer",
         )
+        self._dispatch_guest_op(
+            BatchOp(kind="recv", packet=packet, proof=proof, proof_height=lc_height),
+            span=delivery_span,
+        )
 
-        def done(result: DeliveryResult) -> None:
-            delivery_span.end(transactions=result.transaction_count)
+    # -- batched guest-side submission ---------------------------------
+
+    def _dispatch_guest_op(self, op: BatchOp, span) -> None:
+        """Route one guest-side packet operation: straight to its own
+        bundle in the classic flow, or into the pending batch."""
+        if self.config.batch_max_packets <= 1:
+            self._submit_single(op, span)
+            return
+        self._pending_batch.append((op, span))
+        if len(self._pending_batch) >= self.config.batch_max_packets:
+            self._flush_batch()
+        elif self._batch_flush_handle is None:
+            self._batch_flush_handle = self.sim.schedule(
+                self.config.batch_flush_seconds, self._flush_batch,
+            )
+
+    def _enqueue_bundle(self, launch: Callable[[], None]) -> None:
+        """Hold submissions so at most ``max_inflight_bundles`` delivery
+        bundles sit in the host mempool; see :class:`RelayerConfig`."""
+        self._bundle_queue.append(launch)
+        self._pump_bundles()
+
+    def _pump_bundles(self) -> None:
+        cap = self.config.max_inflight_bundles
+        while self._bundle_queue and (cap is None or self._bundles_in_flight < cap):
+            self._bundles_in_flight += 1
+            self._bundle_queue.popleft()()
+
+    def _bundle_done(self) -> None:
+        self._bundles_in_flight -= 1
+        self._pump_bundles()
+
+    def _submit_single(self, op: BatchOp, span) -> None:
+        def launch() -> None:
+            def done(result: DeliveryResult) -> None:
+                self._bundle_done()
+                if span is not None:
+                    span.end(transactions=result.transaction_count)
+                self._record_op_result(op, result)
+
+            tip = self.config.bundle_tip_lamports
+            if op.kind == "recv":
+                self.api.deliver_packet(op.packet, op.proof, op.proof_height,
+                                        tip_lamports=tip, on_done=done)
+            else:
+                self.api.acknowledge_packet(op.packet, op.ack, op.proof,
+                                            op.proof_height, tip_lamports=tip,
+                                            on_done=done)
+
+        self._enqueue_bundle(launch)
+
+    def _record_op_result(self, op: BatchOp, result: DeliveryResult) -> None:
+        if op.kind == "recv":
             self.metrics.deliveries.append(result)
             self.ledger.record("delivery", result.total_fee, result.transaction_count)
             self.sim.trace.observe("relay.delivery.fee", result.total_fee)
@@ -257,11 +348,91 @@ class Relayer:
             if result.success:
                 self.sim.trace.count("relay.packets.to_guest")
                 self.metrics.packets_relayed_to_guest += 1
+        else:
+            self.metrics.acks_returned.append(result)
+            self.ledger.record("ack-return", result.total_fee, result.transaction_count)
 
-        self.api.deliver_packet(
-            packet, proof, lc_height,
-            tip_lamports=self.config.bundle_tip_lamports, on_done=done,
-        )
+    def _flush_batch(self) -> None:
+        if self._batch_flush_handle is not None:
+            self._batch_flush_handle.cancel()
+            self._batch_flush_handle = None
+        if not self._pending_batch:
+            return
+        items, self._pending_batch = self._pending_batch, []
+        for group in self._bundle_sized_groups(items):
+            self._submit_batch(group)
+
+    def _bundle_sized_groups(self, items: list) -> list[list]:
+        """Split a flush so each bundle stays schedulable.
+
+        Bundles land atomically, so one whose transaction count exceeds
+        the host's per-block limit would sit in the mempool forever.
+        Group by projected chunk bytes, leaving the last slot for the
+        BATCH_EXEC transaction itself.
+        """
+        from repro.lightclient.chunked import usable_chunk_bytes
+        chunk_size = usable_chunk_bytes(self.host.config.max_transaction_bytes)
+        # Conservative per-entry overhead on top of the raw message.
+        budget = max(1, self.config.batch_max_bundle_txs - 1) * (chunk_size - 64)
+        groups: list[list] = []
+        current: list = []
+        used = 0
+        for op, span in items:
+            size = len(op.msg_bytes()) + 32
+            if current and used + size > budget:
+                groups.append(current)
+                current, used = [], 0
+            current.append((op, span))
+            used += size
+        if current:
+            groups.append(current)
+        return groups
+
+    def _submit_batch(self, items: list) -> None:
+        ops = [op for op, _ in items]
+
+        def done(result: DeliveryResult) -> None:
+            self._bundle_done()
+            if not result.success:
+                # The whole bundle failed (e.g. rejected as oversized or
+                # starved of block space): fall back to the proven
+                # per-packet flow so no packet is lost.
+                self.sim.trace.count("relay.batch.fallback")
+                self.ledger.record("batch-failed", result.total_fee,
+                                   result.transaction_count)
+                for op, span in items:
+                    self._submit_single(op, span)
+                return
+            recv_count = sum(1 for op in ops if op.kind == "recv")
+            ack_count = len(ops) - recv_count
+            for op, span in items:
+                if span is not None:
+                    span.end(transactions=result.transaction_count)
+            # Attribute the bundle's fee pro rata across the two flows
+            # (the §V-B ledger stays meaningful under batching).
+            fee_share = result.total_fee // len(ops)
+            if recv_count:
+                self.metrics.deliveries.append(result)
+                self.ledger.record("delivery", fee_share * recv_count,
+                                   result.transaction_count)
+                self.sim.trace.observe("relay.delivery.fee", result.total_fee)
+                self.sim.trace.observe("relay.delivery.txs", result.transaction_count)
+                self.sim.trace.count("relay.packets.to_guest", recv_count)
+                self.metrics.packets_relayed_to_guest += recv_count
+            if ack_count:
+                self.metrics.acks_returned.append(result)
+                self.ledger.record(
+                    "ack-return", result.total_fee - fee_share * recv_count, 0,
+                )
+
+        def launch() -> None:
+            self.sim.trace.count("relay.batches")
+            self.sim.trace.observe("relay.batch.packets", len(ops))
+            self.api.deliver_batch(
+                ops, tip_lamports=self.config.bundle_tip_lamports, on_done=done,
+            )
+
+        self._enqueue_bundle(launch)
 
     def _on_guest_packet_received(self, event: HostEvent) -> None:
         """The guest wrote an ack; return it once a finalised guest block
@@ -289,11 +460,22 @@ class Relayer:
                     return
                 # The sender processed the ack; seal it on the guest
                 # (bounded storage, §III-A).
-                self.api.confirm_ack(
+                confirm = (
                     str(packet.destination_port),
                     str(packet.destination_channel),
                     packet.sequence,
                 )
+                if self.config.batch_max_packets > 1:
+                    # Coalesced flow: seal many acks per transaction
+                    # instead of paying a host transaction per packet.
+                    self._pending_confirms.append(confirm)
+                    if self._confirm_flush_handle is None:
+                        self._confirm_flush_handle = self.sim.schedule(
+                            self.config.batch_flush_seconds,
+                            self._flush_confirms,
+                        )
+                    return
+                self.api.confirm_ack(*confirm)
 
             self.counterparty.submit(
                 lambda packet=packet, ack=ack, proof=proof,
@@ -303,6 +485,12 @@ class Relayer:
                 on_result=after_ack,
             )
             del self._pending_guest_acks[key]
+
+    def _flush_confirms(self) -> None:
+        self._confirm_flush_handle = None
+        confirms, self._pending_confirms = self._pending_confirms, []
+        self.sim.trace.observe("relay.confirm_batch.acks", len(confirms))
+        self.api.confirm_acks(confirms)
 
     # ==================================================================
     # Chunked guest-side light-client updates (the Fig. 4/5 flow)
@@ -319,6 +507,18 @@ class Relayer:
     def _kick_lc_update(self) -> None:
         if self._lc_busy or not self._lc_queue:
             return
+        wait = (self._lc_last_finish
+                + self.config.lc_update_min_seconds) - self.sim.now
+        if wait > 0:
+            # Hold-down: let more work accumulate so the next update
+            # amortises over it.  One retry timer is enough — every
+            # queued waiter is flushed by the same update.
+            if self._lc_holddown_handle is None:
+                def retry() -> None:
+                    self._lc_holddown_handle = None
+                    self._kick_lc_update()
+                self._lc_holddown_handle = self.sim.schedule(wait, retry)
+            return
         target = self.counterparty.height
         needed = max(height for height, _ in self._lc_queue)
         if target < needed:
@@ -328,14 +528,19 @@ class Relayer:
         self._lc_busy = True
         update = self.counterparty.light_client_update(target)
         self.sim.trace.begin("relay.lc_update", key=target, actor="relayer")
+        fee: Optional[FeeStrategy] = None
+        if self.config.adaptive_lc_fees:
+            fee = AdaptiveFee(lambda: self.host.congestion_at(self.sim.now))
         self.api.submit_lc_update(
             update,
             window=self.config.lc_update_window,
+            fee=fee,
             on_done=lambda result: self._lc_done(result),
         )
 
     def _lc_done(self, result: LcUpdateResult) -> None:
         self._lc_busy = False
+        self._lc_last_finish = self.sim.now
         trace = self.sim.trace
         trace.finish("relay.lc_update", key=result.height,
                      transactions=result.transaction_count,

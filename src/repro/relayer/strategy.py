@@ -63,11 +63,24 @@ class EscalatingFeePolicy:
     max_cu_price: int = 8_000_000
     escalations: int = 0
 
+    def _max_doublings(self) -> int:
+        """Doublings after which the price cap is already reached."""
+        if self.initial_cu_price <= 0:
+            return 0
+        ratio = self.max_cu_price // self.initial_cu_price
+        return max(0, ratio.bit_length())
+
     def strategy_for(self, waited_seconds: float) -> FeeStrategy:
         if waited_seconds < self.escalate_after:
             return BaseFee()
-        # Exponential escalation with the waiting time.
+        # Exponential escalation with the waiting time.  The exponent is
+        # clamped *before* the power is taken: under sustained congestion
+        # an operation can wait for hours, and 2**(hours/10s) is an
+        # astronomically large bignum even though the price was going to
+        # be capped anyway.  Past the cap the price simply stays there —
+        # retries can never escalate fees unboundedly.
         steps = int(waited_seconds // self.escalate_after)
-        price = min(self.max_cu_price, self.initial_cu_price * (2 ** (steps - 1)))
+        exponent = min(steps - 1, self._max_doublings())
+        price = min(self.max_cu_price, self.initial_cu_price * (2 ** exponent))
         self.escalations += 1
         return PriorityFee(compute_unit_price=price)

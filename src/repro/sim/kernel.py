@@ -12,19 +12,16 @@ Design notes:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.observability.trace import NULL_TRACER
 from repro.sim.rng import Rng
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    sequence: int
-    handle: "EventHandle" = field(compare=False)
+# Heap entries are plain ``(time, sequence, handle)`` tuples.  The
+# sequence tie-breaker is strictly increasing, so comparison never
+# reaches the handle — and tuples avoid the dataclass-comparison
+# overhead that dominated the scheduler under high packet rates.
 
 
 class EventHandle:
@@ -51,7 +48,7 @@ class Simulation:
         #: default: the shared NullTracer makes every probe a no-op.
         self.trace = tracer if tracer is not None else NULL_TRACER
         self.trace.bind(lambda: self.now)
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._sequence = 0
         self._running = False
 
@@ -71,7 +68,7 @@ class Simulation:
             raise SimulationError(f"cannot schedule at {time} before now ({self.now})")
         handle = EventHandle(callback, args)
         self._sequence += 1
-        heapq.heappush(self._queue, _QueueEntry(time, self._sequence, handle))
+        heapq.heappush(self._queue, (time, self._sequence, handle))
         self.trace.count("sim.events.scheduled")
         return handle
 
@@ -82,13 +79,13 @@ class Simulation:
     def step(self) -> bool:
         """Run the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.handle.cancelled:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
                 self.trace.count("sim.events.cancelled")
                 continue
-            self.now = entry.time
+            self.now = time
             self.trace.count("sim.events.dispatched")
-            entry.handle.callback(*entry.handle.args)
+            handle.callback(*handle.args)
             return True
         return False
 
@@ -98,16 +95,16 @@ class Simulation:
         if time < self.now:
             raise SimulationError("run_until cannot move time backwards")
         while self._queue:
-            entry = self._queue[0]
-            if entry.time > time:
+            event_time = self._queue[0][0]
+            if event_time > time:
                 break
-            heapq.heappop(self._queue)
-            if entry.handle.cancelled:
+            _, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
                 self.trace.count("sim.events.cancelled")
                 continue
-            self.now = entry.time
+            self.now = event_time
             self.trace.count("sim.events.dispatched")
-            entry.handle.callback(*entry.handle.args)
+            handle.callback(*handle.args)
         self.now = time
 
     def run(self, max_events: int = 10_000_000) -> None:
@@ -118,4 +115,4 @@ class Simulation:
         raise SimulationError(f"simulation exceeded {max_events} events")
 
     def pending_events(self) -> int:
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        return sum(1 for _, _, handle in self._queue if not handle.cancelled)

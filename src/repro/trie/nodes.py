@@ -86,7 +86,7 @@ class ExtensionNode:
 class BranchNode:
     """A 16-way fan-out with an optional value terminating at the branch."""
 
-    __slots__ = ("children", "value", "_hash")
+    __slots__ = ("children", "value", "_hash", "_child_hashes")
 
     def __init__(self, children: Optional[list[Optional[Node]]] = None, value: Optional[bytes] = None) -> None:
         self.children: list[Optional[Node]] = children if children is not None else [None] * 16
@@ -94,12 +94,27 @@ class BranchNode:
             raise ValueError("branch must have exactly 16 child slots")
         self.value = value
         self._hash: Optional[Hash] = None
+        self._child_hashes: Optional[tuple[Hash, ...]] = None
+
+    def child_hashes(self) -> tuple[Hash, ...]:
+        """All 16 child hashes (zero hash for empty slots), cached.
+
+        Proof generation needs a branch's sibling hashes on every step;
+        without the cache each proof re-hashes the same children over and
+        over.  Safe to cache because mutation rebuilds the nodes along
+        the touched path rather than editing them in place.
+        """
+        if self._child_hashes is None:
+            self._child_hashes = tuple(
+                child.hash() if child is not None else Hash.zero()
+                for child in self.children
+            )
+        return self._child_hashes
 
     def hash(self) -> Hash:
         if self._hash is None:
             parts: list[bytes | Hash] = [_TAG_BRANCH]
-            for child in self.children:
-                parts.append(child.hash() if child is not None else Hash.zero())
+            parts.extend(self.child_hashes())
             parts.append(self.value if self.value is not None else b"\xff")
             self._hash = hash_concat(*parts)
         return self._hash

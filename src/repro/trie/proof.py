@@ -253,13 +253,45 @@ def _decode_optional_value(reader: Reader) -> Optional[bytes]:
     return None
 
 
+def _encode_hash_set(hashes: tuple[Hash, ...]) -> bytes:
+    """Occupancy bitmap + only the non-zero hashes.
+
+    Branches in a hashed-key trie are mostly sparse, so writing all slots
+    at 32 bytes each wastes most of the wire: a two-child branch costs
+    34 bytes this way instead of 480.  Proof size drives how many host
+    transactions a delivery needs, so this is a direct fee/throughput
+    win (§V-A).
+    """
+    zero = Hash.zero()
+    bitmap = 0
+    out = bytearray()
+    for i, value in enumerate(hashes):
+        if value != zero:
+            bitmap |= 1 << i
+    head = bitmap.to_bytes(2, "big")
+    for i, value in enumerate(hashes):
+        if bitmap >> i & 1:
+            out += bytes(value)
+    return head + bytes(out)
+
+
+def _decode_hash_set(reader: Reader, count: int) -> tuple[Hash, ...]:
+    bitmap = int.from_bytes(reader.read(2), "big")
+    if bitmap >> count:
+        raise ProofError(f"hash-set bitmap names slots beyond {count}")
+    zero = Hash.zero()
+    return tuple(
+        Hash(reader.read(32)) if bitmap >> i & 1 else zero
+        for i in range(count)
+    )
+
+
 def _encode_step(step: Step) -> bytes:
     if isinstance(step, ExtensionStep):
         return encode_varint(_STEP_EXTENSION) + encode_bytes(encode_nibbles(step.path))
     out = bytearray(encode_varint(_STEP_BRANCH))
     out += encode_varint(step.index)
-    for sibling in step.siblings:
-        out += bytes(sibling)
+    out += _encode_hash_set(step.siblings)
     out += _encode_optional_value(step.value)
     return bytes(out)
 
@@ -270,7 +302,7 @@ def _decode_step(reader: Reader) -> Step:
         return ExtensionStep(path=decode_nibbles(reader.read_bytes()))
     if kind == _STEP_BRANCH:
         index = reader.read_varint()
-        siblings = tuple(Hash(reader.read(32)) for _ in range(15))
+        siblings = _decode_hash_set(reader, 15)
         value = _decode_optional_value(reader)
         return BranchStep(index=index, siblings=siblings, value=value)
     raise ValueError(f"unknown proof step tag {kind}")
@@ -281,14 +313,12 @@ def _encode_evidence(evidence: Evidence) -> bytes:
         return encode_varint(_EV_EMPTY_TRIE)
     if isinstance(evidence, EmptySlotEvidence):
         out = bytearray(encode_varint(_EV_EMPTY_SLOT))
-        for child in evidence.children:
-            out += bytes(child)
+        out += _encode_hash_set(evidence.children)
         out += _encode_optional_value(evidence.value)
         return bytes(out)
     if isinstance(evidence, NoBranchValueEvidence):
         out = bytearray(encode_varint(_EV_NO_BRANCH_VALUE))
-        for child in evidence.children:
-            out += bytes(child)
+        out += _encode_hash_set(evidence.children)
         return bytes(out)
     if isinstance(evidence, DivergentLeafEvidence):
         return (
@@ -310,11 +340,11 @@ def _decode_evidence(reader: Reader) -> Evidence:
     if kind == _EV_EMPTY_TRIE:
         return EmptyTrieEvidence()
     if kind == _EV_EMPTY_SLOT:
-        children = tuple(Hash(reader.read(32)) for _ in range(16))
+        children = _decode_hash_set(reader, 16)
         value = _decode_optional_value(reader)
         return EmptySlotEvidence(children=children, value=value)
     if kind == _EV_NO_BRANCH_VALUE:
-        children = tuple(Hash(reader.read(32)) for _ in range(16))
+        children = _decode_hash_set(reader, 16)
         return NoBranchValueEvidence(children=children)
     if kind == _EV_DIVERGENT_LEAF:
         path = decode_nibbles(reader.read_bytes())

@@ -1,0 +1,33 @@
+"""Deterministic traffic generation and throughput measurement.
+
+The paper's evaluation (§V) reports costs per packet but never pushes
+the deployment to saturation.  This package adds the missing load
+harness: seeded arrival processes (:mod:`repro.workload.generators`)
+drive multi-channel, multi-user ICS-20 traffic through a deployment
+while the engine (:mod:`repro.workload.engine`) measures sustained
+packets/sec, end-to-end latency percentiles and host fee cost per
+packet.  Everything draws from forked ``sim.rng`` sub-streams, so a
+workload run is a pure function of its seed.
+"""
+
+from repro.workload.engine import WorkloadEngine, WorkloadReport, WorkloadSpec
+from repro.workload.generators import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedLoopMarker,
+    ConstantRate,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ClosedLoopMarker",
+    "ConstantRate",
+    "PoissonArrivals",
+    "WorkloadEngine",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "make_arrivals",
+]

@@ -1,0 +1,105 @@
+"""Packet arrival processes for workload generation.
+
+Open-loop generators answer "when does the next packet arrive?" as a
+delay in simulated seconds; the closed-loop marker tells the engine to
+pace itself off completions instead.  All randomness comes from an
+:class:`repro.sim.rng.Rng` sub-stream the caller forks, so identical
+seeds replay identical traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Union
+
+from repro.sim.rng import Rng
+
+
+class ArrivalProcess(Protocol):
+    """Open-loop arrival process: delays between consecutive sends."""
+
+    def next_delay(self, now: float) -> float:
+        """Seconds until the next packet, given the current sim time."""
+        ...
+
+
+class ConstantRate:
+    """Fixed inter-arrival time: ``1 / pps`` seconds between packets."""
+
+    def __init__(self, pps: float) -> None:
+        if pps <= 0:
+            raise ValueError("packet rate must be positive")
+        self._interval = 1.0 / pps
+
+    def next_delay(self, now: float) -> float:
+        return self._interval
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at a mean rate of ``pps`` packets/sec."""
+
+    def __init__(self, rng: Rng, pps: float) -> None:
+        if pps <= 0:
+            raise ValueError("packet rate must be positive")
+        self._rng = rng
+        self._pps = pps
+
+    def next_delay(self, now: float) -> float:
+        return self._rng.expovariate(self._pps)
+
+
+class BurstyArrivals:
+    """Arrivals whose rate tracks the host congestion model.
+
+    The instantaneous rate is ``base_pps * (1 + amplification *
+    congestion(now))`` — traffic surges exactly when the host is
+    busiest, the adversarial pattern for a relayer that pays
+    congestion-priced fees.
+    """
+
+    def __init__(self, rng: Rng, base_pps: float,
+                 congestion: Callable[[float], float],
+                 amplification: float = 3.0) -> None:
+        if base_pps <= 0:
+            raise ValueError("packet rate must be positive")
+        self._rng = rng
+        self._base_pps = base_pps
+        self._congestion = congestion
+        self._amplification = amplification
+
+    def next_delay(self, now: float) -> float:
+        rate = self._base_pps * (1.0 + self._amplification * self._congestion(now))
+        return self._rng.expovariate(rate)
+
+
+class ClosedLoopMarker:
+    """Sentinel for closed-loop mode: the engine keeps ``window``
+    packets in flight and sends the next one only when a delivery
+    completes (throughput self-adjusts to the system's capacity)."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("closed-loop window must be positive")
+        self.window = window
+
+
+Arrivals = Union[ConstantRate, PoissonArrivals, BurstyArrivals, ClosedLoopMarker]
+
+
+def make_arrivals(mode: str, *, rng: Rng, pps: float, window: int = 8,
+                  congestion: Callable[[float], float] | None = None) -> Arrivals:
+    """Build the arrival process named by ``mode``.
+
+    Modes: ``open-constant``, ``open-poisson``, ``open-bursty`` (needs
+    ``congestion``), ``closed``.
+    """
+    if mode == "open-constant":
+        return ConstantRate(pps)
+    if mode == "open-poisson":
+        return PoissonArrivals(rng, pps)
+    if mode == "open-bursty":
+        if congestion is None:
+            raise ValueError("bursty arrivals need the host congestion function")
+        return BurstyArrivals(rng, pps, congestion)
+    if mode == "closed":
+        return ClosedLoopMarker(window)
+    raise ValueError(f"unknown workload mode {mode!r}")

@@ -91,6 +91,45 @@ class TestBlockIntervalHarness:
         assert "cut-off" in text
 
 
+class TestThroughputHarness:
+    def test_point_record_is_json_ready(self):
+        from repro.experiments.throughput import (
+            ThroughputPointConfig, run_throughput_point,
+        )
+        record = run_throughput_point(ThroughputPointConfig(
+            seed=5, offered_pps=2.0, duration=20.0, drain_seconds=600.0,
+            channels=1, batch_max_packets=4,
+        ))
+        assert record["sent"] > 0
+        assert record["delivered"] == record["sent"]
+        assert record["outstanding"] == 0
+        assert record["sustained_pps"] > 0
+        assert record["latency_p50_s"] <= record["latency_p95_s"]
+        import json
+        json.dumps(record)  # the benchmark writes this verbatim
+
+    def test_check_smoke_flags_regressions(self):
+        from repro.experiments.throughput import check_smoke
+        point = {
+            "offered_pps": 8.0, "batch_max_packets": 1, "sent": 10,
+            "committed": 10, "delivered": 10, "send_failures": 0,
+            "sustained_pps": 5.0, "latency_p50_s": 1.0,
+            "latency_p95_s": 2.0, "latency_p99_s": 3.0,
+            "relayer_fee_lamports": 1_000, "fee_lamports_per_packet": 100.0,
+        }
+        batched = dict(point, batch_max_packets=16, sustained_pps=10.0,
+                       fee_lamports_per_packet=50.0)
+        results = {"offered_loads": [8.0], "batch_sizes": [1, 16],
+                   "points": [point, batched]}
+        assert check_smoke(results) == []
+        slow = dict(batched, sustained_pps=5.5)
+        assert check_smoke({**results, "points": [point, slow]})
+        undelivered = dict(point, delivered=9)
+        assert check_smoke({**results, "points": [undelivered, batched]})
+        assert check_smoke({**results,
+                            "points": [point, {"offered_pps": 8.0}]})
+
+
 class TestStorageHarness:
     def test_capacity_fields(self):
         capacity = measure_capacity(sample=2_000)

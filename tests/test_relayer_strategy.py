@@ -56,6 +56,33 @@ class TestEscalatingFeePolicy:
         strategy = policy.strategy_for(1_000.0)
         assert strategy.compute_unit_price == 2_000_000
 
+    def test_week_long_wait_prices_instantly(self):
+        """Regression: the escalation exponent is clamped *before* the
+        power is taken.  Without the clamp a week-stuck operation asks
+        for 2**60480 — a bignum large enough to stall the relayer —
+        even though the price was going to be capped anyway."""
+        import time
+        policy = EscalatingFeePolicy(escalate_after=10.0,
+                                     initial_cu_price=100_000,
+                                     max_cu_price=8_000_000)
+        started = time.perf_counter()
+        strategy = policy.strategy_for(7 * 24 * 3600.0)
+        assert time.perf_counter() - started < 0.5
+        assert strategy.compute_unit_price == 8_000_000
+        assert strategy.compute_unit_price.bit_length() < 64
+
+    def test_price_monotone_and_bounded(self):
+        """More waiting never costs less, and never costs more than the
+        cap — across the whole escalation curve, including absurd waits."""
+        policy = EscalatingFeePolicy(escalate_after=10.0,
+                                     initial_cu_price=100,
+                                     max_cu_price=25_000)
+        waits = [10.0, 15.0, 20.0, 40.0, 80.0, 160.0, 1e3, 1e6, 1e9, 1e15]
+        prices = [policy.strategy_for(w).compute_unit_price for w in waits]
+        assert all(a <= b for a, b in zip(prices, prices[1:]))
+        assert all(p <= policy.max_cu_price for p in prices)
+        assert prices[-1] == policy.max_cu_price
+
     def test_escalated_fee_beats_base_in_congested_mempool(self):
         """End to end: under heavy congestion the escalated strategy has
         a materially lower expected wait than the base fee."""

@@ -167,3 +167,125 @@ def test_empty_after_deleting_everything(mapping):
         trie.delete(k)
     assert trie.root_hash == Hash.zero()
     assert trie.node_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Differential testing against a dict reference model
+# ----------------------------------------------------------------------
+#
+# The trie carries proof memoization and cached branch-child hashes, so
+# the risky failure mode is no longer "one operation is wrong" but "a
+# cache survives a mutation it should not have".  Driving the real trie
+# and a plain-dict model through the same random op sequences — checking
+# the root, lookups and proof verifiability after *every* step — is the
+# test shape that catches stale-cache bugs.
+
+_POOL = [hashlib.sha256(b"diff-%d" % i).digest() for i in range(12)]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.sampled_from(_POOL),
+                  st.binary(min_size=0, max_size=32)),
+        st.tuples(st.just("delete"), st.sampled_from(_POOL)),
+        st.tuples(st.just("seal"), st.sampled_from(_POOL)),
+    ),
+    min_size=1, max_size=20,
+)
+
+
+def _reference_root(live: dict, sealed: dict) -> Hash:
+    """Sealing preserves the root, so the model's root is the root of a
+    fresh trie holding every committed (live or sealed) entry."""
+    fresh = SealableTrie()
+    for k, v in {**live, **sealed}.items():
+        fresh.set(k, v)
+    return fresh.root_hash
+
+
+@settings(max_examples=220, deadline=None)
+@given(_ops, st.data())
+def test_differential_against_dict_model(ops, data):
+    trie = SealableTrie()
+    live: dict = {}    # readable committed entries
+    sealed: dict = {}  # committed but sealed away
+
+    for op in ops:
+        kind, key = op[0], op[1]
+        if kind == "set":
+            value = op[2]
+            if key in sealed:
+                _expect(SealedNodeError, lambda: trie.set(key, value))
+            else:
+                try:
+                    trie.set(key, value)
+                    live[key] = value
+                except SealedNodeError:
+                    # The write path for a *new* key can dead-end at a
+                    # sealed leaf standing where the paths diverge.
+                    assert sealed and key not in live
+        elif kind == "delete":
+            if key in sealed:
+                _expect(SealedNodeError, lambda: trie.delete(key))
+            elif key in live:
+                trie.delete(key)
+                del live[key]
+            else:
+                _expect_miss(sealed, lambda: trie.delete(key))
+        else:  # seal
+            if key in sealed:
+                _expect(SealedNodeError, lambda: trie.seal(key))
+            elif key in live:
+                trie.seal(key)
+                sealed[key] = live.pop(key)
+            else:
+                _expect_miss(sealed, lambda: trie.seal(key))
+
+        # -- after every step, the trie must agree with the model --
+        root = trie.root_hash
+        assert root == _reference_root(live, sealed)
+        for k, v in live.items():
+            assert trie.get(k) == v
+        for k in sealed:
+            _expect(SealedNodeError, lambda k=k: trie.get(k))
+
+        if live:
+            probe = data.draw(st.sampled_from(sorted(live)), label="prove key")
+            proof = trie.prove(probe)
+            assert proof.value == live[probe]
+            assert verify_membership(root, proof)
+            # Memoized re-proof is byte-identical and still verifies.
+            assert trie.prove(probe).to_bytes() == proof.to_bytes()
+        absent = data.draw(
+            st.sampled_from([k for k in _POOL
+                             if k not in live and k not in sealed] or [None]),
+            label="absence key",
+        )
+        if absent is not None:
+            try:
+                assert verify_non_membership(root, trie.prove_absence(absent))
+            except SealedNodeError:
+                # The absent key's path may dead-end inside a sealed
+                # region, where no evidence can be read.
+                assert sealed
+
+
+def _expect(error, thunk):
+    try:
+        thunk()
+    except error:
+        return
+    raise AssertionError(f"expected {error.__name__}")
+
+
+def _expect_miss(sealed, thunk):
+    """An operation on an absent key must miss: ``KeyNotFoundError``
+    normally, or ``SealedNodeError`` when its path hits a sealed node
+    first (only possible if something is sealed)."""
+    try:
+        thunk()
+    except KeyNotFoundError:
+        return
+    except SealedNodeError:
+        assert sealed, "SealedNodeError with nothing sealed"
+        return
+    raise AssertionError("expected the operation to miss")
