@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples all
+.PHONY: install test lint bench figures examples cluster-smoke all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -23,5 +23,12 @@ figures:
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script; done
+
+# 2-worker sharded smoke sweep + one replay-divergence audit (~2 min).
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments throughput-smoke \
+		--cluster-workers 2 --run-dir results/cluster-smoke
+	PYTHONPATH=src $(PYTHON) -m repro.experiments replay-audit \
+		--audit-seeds 401
 
 all: lint test bench figures

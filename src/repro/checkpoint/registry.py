@@ -1,0 +1,122 @@
+"""Registry of schedulable actors: the checkpointability contract.
+
+A snapshot can only re-bind what it can name.  Every callback sitting
+in the event queue (or buried in an actor's work queue) must therefore
+be *owned* by code the registry knows how to find again at restore
+time:
+
+* a **bound method** of a registered actor class (the normal case —
+  ``relayer._poll_counterparty``, ``chain._produce_block``, …);
+* a **function or closure defined in a registered module** — closures
+  ship their own code, but their globals are re-bound against the
+  module, so the module must be importable and registered;
+* a **builtin method of a plain container** (``fired.append``) — these
+  carry no code at all.
+
+Anything else — a closure minted in an unregistered module (say, an ad
+hoc test file that will not exist at restore time) — fails validation
+*at snapshot time* with an error naming the callback, instead of
+producing a checkpoint that cannot be restored.
+
+All ``repro.*`` modules are registered by default, so every in-tree
+actor is checkpointable out of the box.  Embedders add their own actor
+classes with :func:`register_actor` (or whole namespaces with
+:func:`register_namespace`).
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Callable, Iterable
+
+from repro.checkpoint.codec import CheckpointError
+
+#: Module-name prefixes whose functions/closures are checkpoint-safe.
+_NAMESPACES: set[str] = {"repro"}
+
+#: Explicitly registered actor classes (beyond the namespace rule).
+_ACTOR_CLASSES: set[type] = set()
+
+
+def register_namespace(prefix: str) -> None:
+    """Mark every module under ``prefix`` as checkpoint-safe."""
+    _NAMESPACES.add(prefix.rstrip("."))
+
+
+def register_actor(cls: type) -> type:
+    """Register an actor class whose bound methods may be scheduled.
+
+    Usable as a decorator; returns ``cls`` unchanged.
+    """
+    _ACTOR_CLASSES.add(cls)
+    return cls
+
+
+def _module_registered(module_name: str) -> bool:
+    if not module_name:
+        return False
+    if module_name == "builtins":
+        return True
+    head = module_name.split(".", 1)[0]
+    return head in _NAMESPACES or module_name in _NAMESPACES
+
+
+def _owner_of(callback: Callable[..., Any]):
+    """(kind, detail) classification of a scheduled callback."""
+    if isinstance(callback, types.MethodType):
+        owner = type(callback.__self__)
+        if owner in _ACTOR_CLASSES or _module_registered(owner.__module__):
+            return "ok", None
+        return "unregistered-actor", (
+            f"bound method {callback.__func__.__qualname__} of unregistered "
+            f"actor class {owner.__module__}.{owner.__qualname__}"
+        )
+    if isinstance(callback, types.BuiltinMethodType):
+        return "ok", None  # e.g. list.append of a plain container
+    if isinstance(callback, types.FunctionType):
+        if _module_registered(callback.__module__ or ""):
+            return "ok", None
+        return "unregistered-module", (
+            f"function {callback.__qualname__} defined in unregistered "
+            f"module {callback.__module__!r}"
+        )
+    if callable(callback):
+        owner = type(callback)
+        if owner in _ACTOR_CLASSES or _module_registered(owner.__module__):
+            return "ok", None
+        return "unregistered-callable", (
+            f"callable of unregistered type {owner.__module__}.{owner.__qualname__}"
+        )
+    return "not-callable", f"{callback!r} is not callable"
+
+
+def validate_event_queue(sim) -> None:
+    """Check every live scheduled callback against the registry.
+
+    Raises :class:`CheckpointError` listing each violation; a clean pass
+    means the queue's continuations can be re-bound at restore time.
+    """
+    problems = validation_errors(
+        handle.callback
+        for _, _, handle in sim._queue
+        if not handle.cancelled
+    )
+    if problems:
+        details = "\n  - ".join(problems)
+        raise CheckpointError(
+            "event queue holds callbacks outside the checkpoint registry "
+            "(schedule methods of registered actors, or register your "
+            "module/class — docs/CHECKPOINT.md):\n  - " + details
+        )
+
+
+def validation_errors(callbacks: Iterable[Callable[..., Any]]) -> list[str]:
+    """The registry violations among ``callbacks`` (deduplicated)."""
+    problems: list[str] = []
+    seen: set[str] = set()
+    for callback in callbacks:
+        status, detail = _owner_of(callback)
+        if status != "ok" and detail not in seen:
+            seen.add(detail)
+            problems.append(detail)
+    return problems

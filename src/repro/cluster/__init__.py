@@ -1,0 +1,30 @@
+"""Sharded multi-process experiment runner (``docs/CHECKPOINT.md``).
+
+Shards a sweep's points across worker processes, streams progress over
+a results queue, checkpoints in-flight worlds between slices with
+:mod:`repro.checkpoint`, and resumes killed workers with byte-identical
+merged results.
+"""
+
+from repro.cluster.runner import (
+    ClusterConfig,
+    ClusterError,
+    ClusterRunner,
+    WorkerFault,
+    run_cluster_smoke,
+    run_cluster_sweep,
+    throughput_tasks,
+)
+from repro.cluster.worker import TASK_KINDS, worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterRunner",
+    "TASK_KINDS",
+    "WorkerFault",
+    "run_cluster_smoke",
+    "run_cluster_sweep",
+    "throughput_tasks",
+    "worker_main",
+]

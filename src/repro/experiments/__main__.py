@@ -6,7 +6,10 @@ Usage::
     python -m repro.experiments fig2 fig4     # just those figures
     python -m repro.experiments --duration-hours 48 table1
 
-Valid targets: fig2 fig3 fig4 fig5 fig6 table1 recv storage all.
+Valid targets: fig2 fig3 fig4 fig5 fig6 table1 recv storage all —
+plus the operational targets ``throughput-smoke`` (CI assertions),
+``cluster`` (sharded multi-process sweep) and ``replay-audit``
+(checkpoint/restore/replay divergence check).
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 #: ``throughput-smoke`` is CI-only (scaled-down, asserting) and not part
 #: of ``all``.
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
-_EXTRA_TARGETS = {"throughput-smoke"}
+_EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,6 +42,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="length of the simulated evaluation deployment")
     parser.add_argument("--fig6-days", type=float, default=3.0,
                         help="length of the Fig. 6 run")
+    parser.add_argument("--cluster-workers", type=int, default=None,
+                        help="worker processes for the cluster/smoke "
+                             "targets (default: one per CPU)")
+    parser.add_argument("--run-dir", default="results/cluster-run",
+                        help="cluster run directory (task files, "
+                             "checkpoints, results)")
+    parser.add_argument("--checkpoint-every", type=float, default=300.0,
+                        help="simulated seconds between mid-task world "
+                             "checkpoints in cluster workers (0 = off)")
+    parser.add_argument("--audit-seeds", type=int, nargs="+",
+                        default=[401, 402, 403],
+                        help="seeds for the replay-audit target")
     args = parser.parse_args(argv)
 
     targets = set(args.targets) or {"all"}
@@ -94,7 +109,16 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         print("Running the throughput sweep"
               + (" (smoke scale)" if smoke else "") + "...", file=sys.stderr)
-        results = run_throughput_smoke() if smoke else run_throughput_sweep()
+        if smoke and args.cluster_workers is not None:
+            from repro.cluster import ClusterConfig, run_cluster_smoke
+
+            results = run_cluster_smoke(cluster=ClusterConfig(
+                workers=args.cluster_workers,
+                run_dir=args.run_dir,
+                checkpoint_every_seconds=args.checkpoint_every,
+            ))
+        else:
+            results = run_throughput_smoke() if smoke else run_throughput_sweep()
         print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
         blocks.append(render_sweep(results))
         suffix = "_smoke" if smoke else ""
@@ -107,6 +131,51 @@ def main(argv: list[str] | None = None) -> int:
                 for failure in failures:
                     print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
                 return 1
+
+    if "cluster" in targets:
+        import json
+
+        from repro.cluster import ClusterConfig, run_cluster_sweep
+        from repro.experiments.throughput import render_sweep
+
+        started = time.time()
+        print("Running the sharded throughput sweep...", file=sys.stderr)
+        results = run_cluster_sweep(cluster=ClusterConfig(
+            workers=args.cluster_workers,
+            run_dir=args.run_dir,
+            checkpoint_every_seconds=args.checkpoint_every,
+        ))
+        info = results["cluster"]
+        print(f"  done in {time.time() - started:.1f} s "
+              f"({info['workers']} workers)", file=sys.stderr)
+        blocks.append(render_sweep(results))
+        with open("BENCH_throughput.json", "w") as handle:
+            json.dump(results, handle, indent=2)
+
+    if "replay-audit" in targets:
+        import json
+
+        from repro.checkpoint.audit import run_replay_audits
+
+        started = time.time()
+        print(f"Running the replay-divergence audit "
+              f"(seeds {args.audit_seeds})...", file=sys.stderr)
+        audit = run_replay_audits(seeds=tuple(args.audit_seeds))
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        with open("BENCH_replay_audit.json", "w") as handle:
+            json.dump(audit, handle, indent=2)
+        for record in audit["audits"]:
+            verdict = "ok" if record["match"] else "DIVERGED"
+            blocks.append(
+                f"replay-audit seed {record['config']['seed']}: {verdict} "
+                f"({record['events_replayed']} events replayed, "
+                f"checkpoint {record['checkpoint_bytes'] / 1e6:.1f} MB)")
+        if not audit["match"]:
+            print("\n\n".join(blocks))
+            for record in audit["audits"]:
+                for divergence in record["divergences"]:
+                    print(f"AUDIT DIVERGENCE: {divergence}", file=sys.stderr)
+            return 1
 
     print("\n\n".join(blocks))
     return 0

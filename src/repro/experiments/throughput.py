@@ -76,8 +76,15 @@ def build_linked_deployment(config: ThroughputPointConfig):
     return dep, channels
 
 
-def run_throughput_point(config: ThroughputPointConfig) -> dict:
-    """Measure one sweep point; returns a JSON-ready record."""
+def run_throughput_point(config: ThroughputPointConfig, *,
+                         collect_trace: bool = False) -> dict:
+    """Measure one sweep point; returns a JSON-ready record.
+
+    With ``collect_trace`` the record additionally carries the full
+    ``TraceReport`` JSON under ``"trace"`` (the cluster runner uses this
+    to merge per-shard traces); the default record is unchanged either
+    way, so benchmark outputs stay byte-identical.
+    """
     dep, channels = build_linked_deployment(config)
     engine = WorkloadEngine(dep, channels, WorkloadSpec(
         mode=config.mode,
@@ -85,8 +92,19 @@ def run_throughput_point(config: ThroughputPointConfig) -> dict:
         duration=config.duration,
         drain_seconds=config.drain_seconds,
     ))
-    report = engine.run()
+    engine.run()
+    return point_record(config, dep, engine, collect_trace=collect_trace)
 
+
+def point_record(config: ThroughputPointConfig, dep, engine, *,
+                 collect_trace: bool = False) -> dict:
+    """The JSON record for a *finished* point.
+
+    Shared by the serial path above and the cluster workers' resumable
+    path (:mod:`repro.cluster.worker`), so a point measured either way
+    produces byte-identical rows.
+    """
+    report = engine.report()
     trace = dep.trace_report()
     try:
         latency_summary = trace.histogram_summary("workload.e2e_latency").to_json()
@@ -111,7 +129,32 @@ def run_throughput_point(config: ThroughputPointConfig) -> dict:
         "fee_lamports_per_packet": report.fee_lamports_per_packet,
         "fee_usd_per_packet": report.fee_usd_per_packet,
     }
+    if collect_trace:
+        record["trace"] = trace.to_json()
     return record
+
+
+def sweep_point_configs(
+    seed: int = 101,
+    offered_loads: tuple[float, ...] = (2.0, 8.0, 16.0),
+    batch_sizes: tuple[int, ...] = (1, 32),
+    duration: float = 300.0,
+    base: ThroughputPointConfig = ThroughputPointConfig(),
+) -> list[ThroughputPointConfig]:
+    """The sweep's point configs, in canonical (load-major) order.
+
+    The serial sweep and the cluster runner both build their work list
+    here, so a sharded sweep measures exactly the points a serial one
+    would — in the same output order.
+    """
+    configs = []
+    for offered in offered_loads:
+        for batch in batch_sizes:
+            configs.append(replace(
+                base, seed=seed, offered_pps=offered,
+                batch_max_packets=batch, duration=duration,
+            ))
+    return configs
 
 
 def run_throughput_sweep(
@@ -126,14 +169,11 @@ def run_throughput_sweep(
     Same seed per column, so a batched and an unbatched point at the
     same load see identical traffic, congestion and validator draws.
     """
-    points = []
-    for offered in offered_loads:
-        for batch in batch_sizes:
-            config = replace(
-                base, seed=seed, offered_pps=offered,
-                batch_max_packets=batch, duration=duration,
-            )
-            points.append(run_throughput_point(config))
+    points = [
+        run_throughput_point(config)
+        for config in sweep_point_configs(
+            seed, offered_loads, batch_sizes, duration, base)
+    ]
     return {
         "experiment": "throughput_sweep",
         "seed": seed,
@@ -144,6 +184,17 @@ def run_throughput_sweep(
     }
 
 
+#: The CI smoke sweep's shape — shared with the cluster smoke path so
+#: both measure the same points.
+SMOKE_OFFERED_LOADS: tuple[float, ...] = (4.0, 12.0)
+SMOKE_BATCH_SIZES: tuple[int, ...] = (1, 16)
+SMOKE_DURATION = 60.0
+
+
+def smoke_base_config() -> ThroughputPointConfig:
+    return ThroughputPointConfig(duration=SMOKE_DURATION, drain_seconds=1_200.0)
+
+
 def run_throughput_smoke(seed: int = 101) -> dict:
     """A scaled-down sweep for CI: two loads, one minute of sending.
 
@@ -152,10 +203,10 @@ def run_throughput_smoke(seed: int = 101) -> dict:
     """
     return run_throughput_sweep(
         seed=seed,
-        offered_loads=(4.0, 12.0),
-        batch_sizes=(1, 16),
-        duration=60.0,
-        base=ThroughputPointConfig(duration=60.0, drain_seconds=1_200.0),
+        offered_loads=SMOKE_OFFERED_LOADS,
+        batch_sizes=SMOKE_BATCH_SIZES,
+        duration=SMOKE_DURATION,
+        base=smoke_base_config(),
     )
 
 

@@ -12,7 +12,7 @@ through this API.
 
 from __future__ import annotations
 
-import itertools
+from repro import ids
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -25,7 +25,7 @@ from repro.host.transaction import Instruction, SigVerify, Transaction, TxReceip
 from repro.lightclient.chunked import plan_update_chunks
 from repro.lightclient.tendermint import LightClientUpdate
 
-_buffer_ids = itertools.count(1)
+_buffer_ids = ids.mint("guest.buffer")
 
 
 @dataclass

@@ -16,7 +16,7 @@ the Jito semantics the deployment used (§V-A).
 
 from __future__ import annotations
 
-import itertools
+from repro import ids
 import math
 import random
 from dataclasses import dataclass, field
@@ -32,7 +32,7 @@ from repro.host.transaction import Transaction, TxReceipt
 from repro.sim.kernel import Simulation
 from repro.units import HOST_SLOT_SECONDS, MAX_COMPUTE_UNITS, MAX_TRANSACTION_BYTES
 
-_bundle_ids = itertools.count(1)
+_bundle_ids = ids.mint("host.bundle")
 
 
 @dataclass

@@ -7,11 +7,11 @@ observation delay standing in for RPC polling.
 
 from __future__ import annotations
 
-import itertools
+from repro import ids
 from dataclasses import dataclass, field
 from typing import Any
 
-_event_ids = itertools.count(1)
+_event_ids = ids.mint("host.event")
 
 
 @dataclass(frozen=True, slots=True)

@@ -16,7 +16,7 @@ per transaction and additional 0.1 cents per signature".
 
 from __future__ import annotations
 
-import itertools
+from repro import ids
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -28,7 +28,7 @@ from repro.units import MAX_TRANSACTION_BYTES
 if TYPE_CHECKING:
     from repro.host.fees import FeeStrategy
 
-_tx_ids = itertools.count(1)
+_tx_ids = ids.mint("host.tx")
 
 #: Fixed per-transaction envelope bytes: message header (3), the recent
 #: blockhash (32) and the compact-array length prefixes (~3).

@@ -1,0 +1,77 @@
+"""Process-global id mints, made rewindable for checkpoint replay.
+
+Transactions, bundles, chunk buffers, host events and trace spans all
+carry process-unique ids drawn from module-global counters.  Those
+counters are *process* state, not world state: a world restored from a
+checkpoint would mint different ids than the original run did, and the
+difference leaks into span keys, receipt ordering keys and event logs —
+exactly the kind of silent drift the replay-divergence audit exists to
+catch.
+
+Every global mint therefore registers here under a stable name.  A
+checkpoint records ``mint_states()`` alongside the world; restoring
+rewinds each mint to its recorded position, so a replayed world mints
+the very same ids the original would have.
+
+The flip side, documented in ``docs/CHECKPOINT.md``: because mints are
+process-global, only **one live world per process** is supported —
+restoring a checkpoint rewinds the mints out from under any other world
+still running in the same process.  The cluster runner gives each world
+its own worker process for exactly this reason.
+"""
+
+from __future__ import annotations
+
+_MINTS: dict[str, "Mint"] = {}
+
+
+class Mint:
+    """Drop-in for ``itertools.count`` that can report and rewind."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def __iter__(self) -> "Mint":
+        return self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The id the next ``next()`` will return (no mint happens)."""
+        return self._next
+
+    def rewind(self, value: int) -> None:
+        """Move the mint so the next id is ``value``."""
+        self._next = value
+
+
+def mint(name: str, start: int = 1) -> Mint:
+    """Create (or return the existing) named global mint."""
+    existing = _MINTS.get(name)
+    if existing is not None:
+        return existing
+    created = Mint(start)
+    _MINTS[name] = created
+    return created
+
+
+def mint_states() -> dict[str, int]:
+    """Snapshot of every registered mint's next id (checkpointed)."""
+    return {name: registered.peek() for name, registered in sorted(_MINTS.items())}
+
+
+def rewind_mints(states: dict[str, int]) -> None:
+    """Rewind registered mints to a checkpointed :func:`mint_states`.
+
+    Unknown names are ignored (a newer checkpoint restored under an
+    older tree simply leaves mints this build never mints from).
+    """
+    for name, value in states.items():
+        registered = _MINTS.get(name)
+        if registered is not None:
+            registered.rewind(value)

@@ -128,6 +128,46 @@ class TraceReport:
         """JSON dump (span keys coerced to strings where needed)."""
         return json.dumps(self.to_json(), indent=indent, default=str)
 
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "TraceReport":
+        """Inverse of :meth:`to_json` — how cluster workers ship their
+        shard's trace home over the results stream."""
+        return cls(
+            spans=[SpanRecord.from_json(span)
+                   for span in record.get("spans", ())],
+            counters={name: int(value)
+                      for name, value in record.get("counters", {}).items()},
+            histograms={name: [float(v) for v in values]
+                        for name, values in record.get("histograms", {}).items()},
+            gauges={name: [(float(t), float(v)) for t, v in points]
+                    for name, points in record.get("gauges", {}).items()},
+        )
+
+    @classmethod
+    def merge(cls, reports: Iterable["TraceReport"]) -> "TraceReport":
+        """Combine reports from independent runs into one aggregate.
+
+        Counters sum; histogram and gauge series concatenate in report
+        order; spans concatenate.  Span ids are only unique *within* a
+        source report (each worker process mints its own), so treat the
+        merged report as an aggregate-statistics view — per-key trace
+        trees should be read from the shard that produced them.
+        """
+        spans: list[SpanRecord] = []
+        counters: dict[str, int] = {}
+        histograms: dict[str, list[float]] = {}
+        gauges: dict[str, list[tuple[float, float]]] = {}
+        for report in reports:
+            spans.extend(report.spans)
+            for name, value in report.counters.items():
+                counters[name] = counters.get(name, 0) + value
+            for name, values in report.histograms.items():
+                histograms.setdefault(name, []).extend(values)
+            for name, points in report.gauges.items():
+                gauges.setdefault(name, []).extend(points)
+        return cls(spans=spans, counters=counters,
+                   histograms=histograms, gauges=gauges)
+
     def render(self) -> str:
         """Pretty tables: spans, counters, histograms, gauges."""
         blocks: list[str] = []

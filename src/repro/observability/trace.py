@@ -22,11 +22,11 @@ keep ``(time, value)`` pairs for queue-depth-style series.
 
 from __future__ import annotations
 
-import itertools
+from repro import ids
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
-_span_ids = itertools.count(1)
+_span_ids = ids.mint("observability.span")
 
 
 @dataclass
@@ -57,6 +57,21 @@ class SpanRecord:
             "parent_id": self.parent_id,
             "attrs": dict(self.attrs),
         }
+
+    @classmethod
+    def from_json(cls, record: dict[str, Any]) -> "SpanRecord":
+        """Inverse of :meth:`to_json` (keys that were JSON-coerced to
+        strings stay strings; aggregate queries don't mind)."""
+        return cls(
+            span_id=record["span_id"],
+            name=record["name"],
+            key=record.get("key"),
+            actor=record.get("actor"),
+            start=record["start"],
+            end=record.get("end"),
+            parent_id=record.get("parent_id"),
+            attrs=dict(record.get("attrs", {})),
+        )
 
 
 class Span:

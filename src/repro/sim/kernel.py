@@ -6,7 +6,10 @@ Design notes:
 * Events at equal times fire in scheduling order (a monotonically
   increasing tie-breaker), so runs are deterministic.
 * Cancellation is lazy: a cancelled handle stays in the heap but is
-  skipped when popped.
+  skipped when popped.  The kernel counts resident tombstones and
+  compacts the heap once they outnumber the live entries, so
+  cancel-heavy workloads (relayer timeout churn) keep the queue — and
+  every subsequent push/pop — proportional to the *live* event count.
 """
 
 from __future__ import annotations
@@ -27,15 +30,23 @@ from repro.sim.rng import Rng
 class EventHandle:
     """A scheduled callback; keep it to :meth:`cancel` the event."""
 
-    __slots__ = ("callback", "args", "cancelled")
+    __slots__ = ("callback", "args", "cancelled", "in_queue", "_sim")
 
-    def __init__(self, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+    def __init__(self, callback: Callable[..., None], args: tuple[Any, ...],
+                 sim: "Simulation" = None) -> None:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: True while the handle's heap entry is still resident.
+        self.in_queue = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.in_queue and self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulation:
@@ -50,6 +61,9 @@ class Simulation:
         self.trace.bind(lambda: self.now)
         self._queue: list[tuple[float, int, EventHandle]] = []
         self._sequence = 0
+        self._dispatched = 0
+        #: Cancelled handles still resident in the heap (tombstones).
+        self._cancelled = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -66,11 +80,44 @@ class Simulation:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time} before now ({self.now})")
-        handle = EventHandle(callback, args)
+        handle = EventHandle(callback, args, self)
+        handle.in_queue = True
         self._sequence += 1
         heapq.heappush(self._queue, (time, self._sequence, handle))
         self.trace.count("sim.events.scheduled")
         return handle
+
+    # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    #: Compaction is skipped below this many tombstones: rebuilding a
+    #: tiny heap costs more than it saves.
+    _COMPACT_MIN_TOMBSTONES = 64
+
+    def _note_cancelled(self) -> None:
+        """A resident heap entry was cancelled; compact if tombstones
+        now dominate the heap."""
+        self._cancelled += 1
+        if (self._cancelled >= self._COMPACT_MIN_TOMBSTONES
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        removed = 0
+        live: list[tuple[float, int, EventHandle]] = []
+        for entry in self._queue:
+            if entry[2].cancelled:
+                entry[2].in_queue = False
+                removed += 1
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled = 0
+        if removed:
+            self.trace.count("sim.events.cancelled", removed)
 
     # ------------------------------------------------------------------
     # Execution
@@ -80,10 +127,13 @@ class Simulation:
         """Run the next event.  Returns ``False`` when the queue is empty."""
         while self._queue:
             time, _, handle = heapq.heappop(self._queue)
+            handle.in_queue = False
             if handle.cancelled:
+                self._cancelled -= 1
                 self.trace.count("sim.events.cancelled")
                 continue
             self.now = time
+            self._dispatched += 1
             self.trace.count("sim.events.dispatched")
             handle.callback(*handle.args)
             return True
@@ -99,10 +149,13 @@ class Simulation:
             if event_time > time:
                 break
             _, _, handle = heapq.heappop(self._queue)
+            handle.in_queue = False
             if handle.cancelled:
+                self._cancelled -= 1
                 self.trace.count("sim.events.cancelled")
                 continue
             self.now = event_time
+            self._dispatched += 1
             self.trace.count("sim.events.dispatched")
             handle.callback(*handle.args)
         self.now = time
@@ -115,4 +168,10 @@ class Simulation:
         raise SimulationError(f"simulation exceeded {max_events} events")
 
     def pending_events(self) -> int:
-        return sum(1 for _, _, handle in self._queue if not handle.cancelled)
+        """Live (non-cancelled) events in the queue — O(1)."""
+        return len(self._queue) - self._cancelled
+
+    def dispatched_events(self) -> int:
+        """Events executed so far (checkpoint/replay audits align on
+        this count)."""
+        return self._dispatched

@@ -17,13 +17,15 @@ Public surface:
 
 from repro.trie.trie import SealableTrie
 from repro.trie.proof import MembershipProof, NonMembershipProof, verify_membership, verify_non_membership
-from repro.trie.serialize import dump_trie, load_trie
+from repro.trie.serialize import dump_store, dump_trie, load_store, load_trie
 
 __all__ = [
     "SealableTrie",
     "MembershipProof",
     "NonMembershipProof",
+    "dump_store",
     "dump_trie",
+    "load_store",
     "load_trie",
     "verify_membership",
     "verify_non_membership",

@@ -63,6 +63,25 @@ def load_trie(data: bytes) -> SealableTrie:
     return trie
 
 
+def dump_store(store) -> bytes:
+    """Serialize a :class:`~repro.trie.store.ProvableStore`'s trie.
+
+    The store adds no state beyond its trie (paths are hashed into the
+    keys), so a store dump *is* a trie dump — one canonical format for
+    operators and for world checkpoints alike.
+    """
+    return dump_trie(store.trie)
+
+
+def load_store(data: bytes):
+    """Reconstruct a ``ProvableStore`` from :func:`dump_store` output."""
+    from repro.trie.store import ProvableStore
+
+    store = ProvableStore()
+    store._trie = load_trie(data)
+    return store
+
+
 def _write_node(out: bytearray, node: Node) -> None:
     if isinstance(node, LeafNode):
         out.append(_LEAF)

@@ -59,6 +59,19 @@ class ProvableStore:
         view._trie = self._trie.snapshot()
         return view
 
+    def to_bytes(self) -> bytes:
+        """Canonical full dump (live nodes and sealed stubs)."""
+        from repro.trie.serialize import dump_store
+
+        return dump_store(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProvableStore":
+        """Reconstruct a store from :meth:`to_bytes` output."""
+        from repro.trie.serialize import load_store
+
+        return load_store(data)
+
     def set(self, path: str, value: bytes) -> None:
         self._trie.set(path_key(path), value)
 

@@ -1,0 +1,276 @@
+"""The checkpoint subsystem: codec, registry, manifest, file format.
+
+The heavyweight guarantee — restore + replay is bit-identical — lives
+in ``test_replay_audit.py``; these tests pin the machinery underneath:
+closure serialization (shared values, recursive cycles, deep chains),
+the callback registry's snapshot-time validation, manifest auditing on
+restore, the binary container, and the rewindable id mints.
+"""
+
+import pickle
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro import ids
+from repro.checkpoint import (
+    PYTHON_TAG,
+    Checkpoint,
+    CheckpointError,
+    dumps_world,
+    loads_world,
+    restore_world,
+    snapshot_world,
+    validation_errors,
+)
+from repro.checkpoint.snapshot import CheckpointManifest, world_roots
+from repro.guest.config import GuestConfig
+from repro.validators.profiles import simple_profiles
+
+
+def small_config(seed=71, delta=120.0, **kw):
+    return DeploymentConfig(
+        seed=seed,
+        guest=GuestConfig(delta_seconds=delta, min_stake_lamports=1),
+        profiles=simple_profiles(4),
+        **kw,
+    )
+
+
+def roundtrip(obj):
+    return loads_world(dumps_world(obj))
+
+
+# ----------------------------------------------------------------------
+# Codec: closures
+# ----------------------------------------------------------------------
+
+
+def make_counter(start):
+    count = {"value": start}
+
+    def bump(step=1):
+        count["value"] += step
+        return count["value"]
+
+    def read():
+        return count["value"]
+
+    return bump, read
+
+
+class TestClosureCodec:
+    def test_closure_roundtrip_keeps_captured_state(self):
+        bump, _ = make_counter(10)
+        bump()
+        restored = roundtrip(bump)
+        assert restored() == 12
+        assert restored(5) == 17
+
+    def test_two_closures_share_one_captured_object(self):
+        bump, read = make_counter(0)
+        bump2, read2 = roundtrip((bump, read))
+        bump2()
+        bump2()
+        assert read2() == 2  # both closures see the one restored dict
+
+    def test_recursive_closure_cycle(self):
+        # A closure whose cell contains itself (the guest API's ``pump``
+        # pattern) must terminate through the pickle memo.
+        def make_pump():
+            state = {"calls": 0}
+
+            def pump(n):
+                state["calls"] += 1
+                if n > 0:
+                    return pump(n - 1)
+                return state["calls"]
+
+            return pump
+
+        restored = roundtrip(make_pump())
+        assert restored(4) == 5
+
+    def test_deep_closure_chain(self):
+        # Continuation chains grow thousands of links under congestion;
+        # the codec runs on a big-stack thread so this must just work.
+        def link(nxt):
+            def step():
+                return 1 + (nxt() if nxt is not None else 0)
+
+            return step
+
+        chain = None
+        for _ in range(5_000):
+            chain = link(chain)
+        restored = roundtrip(chain)
+        # Calling 5000 deep would blow the *test's* stack; walk the
+        # restored cells instead and check every link survived.
+        depth = 0
+        while restored is not None:
+            depth += 1
+            restored = restored.__closure__[0].cell_contents
+        assert depth == 5_000
+
+    def test_lambda_and_defaults(self):
+        offset = 3
+        fn = lambda x, y=10, *, z=2: x + y + z + offset  # noqa: E731
+        restored = roundtrip(fn)
+        assert restored(1) == 16
+        assert restored(1, y=0, z=0) == 4
+
+    def test_module_level_function_by_reference(self):
+        assert roundtrip(make_counter) is make_counter
+
+    def test_plain_pickle_still_refuses_closures(self):
+        bump, _ = make_counter(0)
+        with pytest.raises(Exception):
+            pickle.dumps(bump)
+
+    def test_python_tag_guard(self):
+        payload = dumps_world({"x": 1})
+        assert loads_world(payload, python_tag=PYTHON_TAG) == {"x": 1}
+        with pytest.raises(CheckpointError, match="Python"):
+            loads_world(payload, python_tag="2.7")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class _ForeignActor:
+    def poke(self):
+        pass
+
+
+class TestRegistry:
+    def test_repro_closures_and_methods_pass(self):
+        deployment = Deployment(small_config())
+        assert validation_errors(
+            handle.callback for _, _, handle in deployment.sim._queue
+        ) == []
+
+    def test_builtin_container_method_passes(self):
+        fired = []
+        assert validation_errors([fired.append]) == []
+
+    def test_foreign_closure_is_named_in_the_error(self):
+        # This test module is not a registered namespace, so a closure
+        # minted here must fail validation with a pointed message.
+        def local_closure():
+            pass
+
+        problems = validation_errors([local_closure])
+        assert len(problems) == 1
+        assert "local_closure" in problems[0]
+
+    def test_foreign_actor_method_fails_then_registers(self):
+        from repro.checkpoint import register_actor
+
+        actor = _ForeignActor()
+        assert validation_errors([actor.poke])
+        try:
+            register_actor(_ForeignActor)
+            assert validation_errors([actor.poke]) == []
+        finally:
+            from repro.checkpoint import registry
+
+            registry._ACTOR_CLASSES.discard(_ForeignActor)
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore / container
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_world():
+    """A linked deployment with a little traffic in flight."""
+    deployment = Deployment(small_config())
+    channels = deployment.establish_link()
+    deployment.run_for(60.0)
+    return deployment, channels
+
+
+class TestSnapshotRestore:
+    def test_manifest_matches_world(self, live_world):
+        deployment, _ = live_world
+        checkpoint = snapshot_world(deployment, label="unit")
+        manifest = checkpoint.manifest
+        assert manifest.label == "unit"
+        assert manifest.seed == deployment.config.seed
+        assert manifest.sim_now == deployment.sim.now
+        assert manifest.store_roots == world_roots(deployment)
+
+    def test_restore_passes_audit_and_preserves_roots(self, live_world):
+        deployment, _ = live_world
+        checkpoint = snapshot_world(deployment)
+        restored, extras = restore_world(checkpoint)
+        assert extras == {}
+        assert world_roots(restored) == world_roots(deployment)
+        assert restored.sim.now == deployment.sim.now
+        assert restored.sim.pending_events() == deployment.sim.pending_events()
+
+    def test_tampered_manifest_fails_audit(self, live_world):
+        deployment, _ = live_world
+        checkpoint = snapshot_world(deployment)
+        import dataclasses
+
+        bent = Checkpoint(
+            manifest=dataclasses.replace(checkpoint.manifest,
+                                         sim_now=checkpoint.manifest.sim_now + 1.0),
+            payload=checkpoint.payload,
+        )
+        with pytest.raises(CheckpointError, match="sim_now"):
+            restore_world(bent)
+
+    def test_file_container_roundtrip(self, live_world, tmp_path):
+        deployment, _ = live_world
+        checkpoint = snapshot_world(deployment, label="disk")
+        path = str(tmp_path / "world.ckpt")
+        checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.manifest == checkpoint.manifest
+        assert loaded.payload == checkpoint.payload
+
+    def test_bad_magic_and_schema_are_rejected(self, live_world):
+        deployment, _ = live_world
+        data = snapshot_world(deployment).to_bytes()
+        with pytest.raises(CheckpointError, match="magic"):
+            Checkpoint.from_bytes(b"NOPE" + data[4:])
+        with pytest.raises(CheckpointError, match="schema"):
+            Checkpoint.from_bytes(data[:4] + bytes([250]) + data[5:])
+
+    def test_manifest_json_roundtrip(self, live_world):
+        deployment, _ = live_world
+        manifest = snapshot_world(deployment).manifest
+        assert CheckpointManifest.from_json(manifest.to_json()) == manifest
+
+
+# ----------------------------------------------------------------------
+# Rewindable id mints
+# ----------------------------------------------------------------------
+
+
+class TestMints:
+    def test_mint_counts_and_rewinds(self):
+        mint = ids.Mint(5)
+        assert next(mint) == 5
+        assert next(mint) == 6
+        assert mint.peek() == 7
+        mint.rewind(5)
+        assert next(mint) == 5
+
+    def test_restore_rewinds_global_mints(self, live_world):
+        deployment, _ = live_world
+        checkpoint = snapshot_world(deployment)
+        tx_mint = ids.mint("host.tx")
+        before = tx_mint.peek()
+        next(tx_mint)
+        next(tx_mint)
+        restore_world(checkpoint)
+        assert tx_mint.peek() == before
+
+    def test_unknown_mint_names_are_ignored(self):
+        ids.rewind_mints({"no-such-mint": 99})

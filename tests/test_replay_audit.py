@@ -1,0 +1,35 @@
+"""The replay-divergence audit: restore + replay must be bit-identical.
+
+This is the acceptance test for the whole checkpoint subsystem: a live
+batched workload runs thousands of events, a snapshot is taken
+mid-flight (round-tripped through the binary container), and the
+restored world replays more than ten thousand events to the same finish
+line as the original — store roots, event counters, trace histograms,
+span streams and workload latencies must all come out identical, across
+multiple seeds.
+"""
+
+import pytest
+
+from repro.checkpoint.audit import ReplayAuditConfig, run_replay_audit
+
+
+class TestReplayAudit:
+    @pytest.mark.parametrize("seed", [401, 402, 403])
+    def test_replay_is_bit_identical(self, seed):
+        record = run_replay_audit(ReplayAuditConfig(seed=seed))
+        assert record["divergences"] == []
+        assert record["match"] is True
+        # The audit must actually exercise scale: a trivial replay
+        # proves nothing about in-flight continuations.
+        assert record["events_replayed"] >= 10_000
+        assert record["snapshot_events"] >= 4_000
+
+    def test_snapshot_point_past_the_workload_fails_loudly(self):
+        from repro.checkpoint import CheckpointError
+
+        tiny = ReplayAuditConfig(seed=401, offered_pps=1.0, duration=5.0,
+                                 drain_seconds=60.0,
+                                 snapshot_after_events=10_000_000)
+        with pytest.raises(CheckpointError, match="drained"):
+            run_replay_audit(tiny)

@@ -155,6 +155,84 @@ class TestCancellationEdgeCases:
         assert sim.pending_events() == 0
 
 
+class TestCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        """Once tombstones outnumber live entries (and clear the floor)
+        the heap is rebuilt with only live events."""
+        sim = Simulation(seed=1)
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        doomed = [sim.schedule(float(i + 100), lambda: None)
+                  for i in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.pending_events() == 10
+        # Rebuilds fired along the way: the resident heap holds the 10
+        # live events plus at most a sub-floor remainder of tombstones,
+        # never the 200 cancellations.
+        assert len(sim._queue) == 10 + sim._cancelled
+        assert sim._cancelled < sim._COMPACT_MIN_TOMBSTONES
+        del keep
+
+    def test_below_threshold_keeps_tombstones_resident(self):
+        sim = Simulation(seed=1)
+        for i in range(200):
+            sim.schedule(float(i + 1), lambda: None)
+        doomed = [sim.schedule(float(i + 500), lambda: None)
+                  for i in range(40)]
+        for handle in doomed:
+            handle.cancel()
+        # 40 tombstones: under the 64 floor, no rebuild yet.
+        assert sim.pending_events() == 200
+        assert len(sim._queue) == 240
+
+    def test_compacted_schedule_still_fires_in_order(self):
+        sim = Simulation(seed=1)
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        doomed = [sim.schedule(float(i + 50), lambda: None)
+                  for i in range(150)]
+        for handle in doomed:
+            handle.cancel()
+        sim.schedule(0.5, fired.append, "early")
+        sim.run()
+        assert fired == ["early", 0, 1, 2, 3, 4]
+
+    def test_cancel_is_idempotent_for_accounting(self):
+        sim = Simulation(seed=1)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_dispatched_events_counts_only_fired_callbacks(self):
+        sim = Simulation(seed=1)
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda: None)
+        victim = sim.schedule(0.5, lambda: None)
+        victim.cancel()
+        assert sim.dispatched_events() == 0
+        sim.run()
+        assert sim.dispatched_events() == 6
+        assert sim.pending_events() == 0
+
+    def test_dispatch_of_tombstone_repairs_the_count(self):
+        # A cancelled head entry popped during dispatch must decrement
+        # the tombstone count so pending_events stays exact.
+        sim = Simulation(seed=1)
+        head = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        head.cancel()
+        assert sim._cancelled == 1
+        sim.step()
+        assert sim._cancelled == 0
+        assert sim.pending_events() == 0
+
+
 class TestDeterminism:
     def test_same_seed_same_draws(self):
         a, b = Rng(42), Rng(42)

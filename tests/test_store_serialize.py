@@ -1,0 +1,153 @@
+"""Store snapshot semantics and full-store serialization vectors.
+
+Two contracts the checkpoint layer leans on, pinned as tests:
+
+* ``ProvableStore.snapshot()`` is a *frozen* view — mutations to the
+  live store (including sealing, which swaps subtrees for stubs and
+  populates cached hashes) never leak into a snapshot taken earlier;
+* a full store dump is canonical — equal stores serialize to identical
+  bytes, sealed stubs round-trip carrying their commitment, and the
+  golden vectors below pin the format the way
+  ``test_golden_vectors.py`` pins the commitment scheme.
+"""
+
+import hashlib
+
+from repro.trie import SealableTrie, dump_store, dump_trie, load_store, load_trie
+from repro.trie.store import ProvableStore
+
+
+def populated_store():
+    store = ProvableStore()
+    for index in range(8):
+        store.set(f"commitments/ch-0/{index}", f"value-{index}".encode())
+    for sequence in range(4):
+        store.set_seq("acks/ch-0", sequence, f"ack-{sequence}".encode())
+    return store
+
+
+class TestSnapshotCopySemantics:
+    def test_snapshot_is_frozen_under_writes(self):
+        store = populated_store()
+        frozen = store.snapshot()
+        root_before = bytes(frozen.root_hash)
+        store.set("commitments/ch-0/3", b"overwritten")
+        store.delete("commitments/ch-0/5")
+        store.set("commitments/new", b"fresh")
+        assert bytes(frozen.root_hash) == root_before
+        assert frozen.get("commitments/ch-0/3") == b"value-3"
+        assert frozen.contains("commitments/ch-0/5")
+        assert not frozen.contains("commitments/new")
+
+    def test_snapshot_is_frozen_under_sealing(self):
+        store = populated_store()
+        frozen = store.snapshot()
+        nodes_before = frozen.node_count()
+        for sequence in range(4):
+            store.seal_seq("acks/ch-0", sequence)
+        # Sealing replaced live nodes with stubs in the live store only.
+        assert frozen.node_count() == nodes_before
+        assert frozen.get_seq("acks/ch-0", 2) == b"ack-2"
+        assert bytes(frozen.root_hash) == bytes(store.root_hash)  # root-neutral
+
+    def test_snapshot_with_warm_hash_caches(self):
+        # Forcing root_hash/proofs populates the cached node hashes;
+        # snapshotting after that must not alias mutable cache state.
+        from repro.trie.store import verify_path_membership
+
+        store = populated_store()
+        root_before = store.root_hash
+        _ = store.prove("commitments/ch-0/1")
+        frozen = store.snapshot()
+        store.set("commitments/ch-0/1", b"mutated")
+        assert frozen.get("commitments/ch-0/1") == b"value-1"
+        assert bytes(frozen.root_hash) == bytes(root_before)
+        frozen_proof = frozen.prove("commitments/ch-0/1")
+        assert verify_path_membership(frozen.root_hash, "commitments/ch-0/1",
+                                      b"value-1", frozen_proof)
+        # The live store moved on to a different root and value.
+        assert bytes(store.root_hash) != bytes(root_before)
+        live_proof = store.prove("commitments/ch-0/1")
+        assert verify_path_membership(store.root_hash, "commitments/ch-0/1",
+                                      b"mutated", live_proof)
+
+
+class TestStoreRoundTrip:
+    def test_roundtrip_preserves_root_and_values(self):
+        store = populated_store()
+        restored = ProvableStore.from_bytes(store.to_bytes())
+        assert bytes(restored.root_hash) == bytes(store.root_hash)
+        for index in range(8):
+            assert restored.get(f"commitments/ch-0/{index}") == f"value-{index}".encode()
+        assert restored.get_seq("acks/ch-0", 3) == b"ack-3"
+
+    def test_sealed_stubs_roundtrip(self):
+        store = populated_store()
+        for sequence in range(4):
+            store.seal_seq("acks/ch-0", sequence)
+        restored = load_store(dump_store(store))
+        assert bytes(restored.root_hash) == bytes(store.root_hash)
+        # The pruned history stays pruned: stubs dump as stubs.
+        assert restored.node_count() == store.node_count()
+        assert restored.to_bytes() == store.to_bytes()
+
+    def test_equal_stores_dump_identically(self):
+        a, b = populated_store(), populated_store()
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_roundtripped_store_accepts_new_writes(self):
+        from repro.trie.store import verify_path_membership
+
+        restored = ProvableStore.from_bytes(populated_store().to_bytes())
+        restored.set("commitments/after", b"post-load")
+        assert restored.get("commitments/after") == b"post-load"
+        proof = restored.prove("commitments/after")
+        assert verify_path_membership(restored.root_hash, "commitments/after",
+                                      b"post-load", proof)
+
+
+class TestStoreDumpVectors:
+    """Format pins, ``test_golden_vectors.py`` style: these bytes are
+    what operators' cold-storage dumps contain — changing them is a
+    tooling break, so change them consciously."""
+
+    def build_trie(self):
+        trie = SealableTrie()
+        for index in range(6):
+            key = hashlib.sha256(index.to_bytes(4, "big")).digest()
+            trie.set(key, f"value-{index}".encode())
+        return trie
+
+    def test_empty_trie_vector(self):
+        assert dump_trie(SealableTrie()).hex() == "ff"
+
+    def test_single_leaf_vector(self):
+        trie = SealableTrie()
+        trie.set(b"\x12" * 32, b"v")
+        assert hashlib.sha256(dump_trie(trie)).hexdigest() == (
+            "412db66e3662ecdfad513ca67bf1366483d6bd2c6a22152aff4e23520dd7345b"
+        )
+
+    def test_six_entry_dump_digest(self):
+        dump = dump_trie(self.build_trie())
+        assert hashlib.sha256(dump).hexdigest() == (
+            "ec720d832b1a057a11802d14f1cb611ed476b5d325c5c611488fc7d696ebaa4d"
+        )
+        assert bytes(load_trie(dump).root_hash) == bytes(self.build_trie().root_hash)
+
+    def test_sealed_dump_digest(self):
+        trie = self.build_trie()
+        trie.seal(hashlib.sha256((1).to_bytes(4, "big")).digest())
+        dump = dump_trie(trie)
+        assert hashlib.sha256(dump).hexdigest() == (
+            "6d97cd0af91544888888752be623c1e649c1bdf45d91ce973d928792a50b5877"
+        )
+        assert bytes(load_trie(dump).root_hash) == bytes(trie.root_hash)
+
+    def test_store_path_vector(self):
+        store = ProvableStore()
+        store.set("commitments/ports/transfer/channels/channel-0/sequences/5",
+                  b"\x01" * 32)
+        assert hashlib.sha256(dump_store(store)).hexdigest() == (
+            "39508fb456872c716f7cc7cb852721d0657c9e2c360644f2044ce5ac4e486896"
+        )
