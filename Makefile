@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples cluster-smoke all
+.PHONY: install test lint bench figures examples cluster-smoke chaos-smoke all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -30,5 +30,9 @@ cluster-smoke:
 		--cluster-workers 2 --run-dir results/cluster-smoke
 	PYTHONPATH=src $(PYTHON) -m repro.experiments replay-audit \
 		--audit-seeds 401
+
+# Fault-storm convergence check with a fault-free twin (docs/CHAOS.md).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments chaos-smoke
 
 all: lint test bench figures

@@ -1,0 +1,16 @@
+"""Deterministic, seeded fault injection (docs/CHAOS.md).
+
+``repro.chaos`` turns the ad-hoc outage flags of early tests into a
+declarative subsystem: a :class:`~repro.chaos.plan.FaultPlan` is a
+schedule of :class:`~repro.chaos.plan.FaultSpec` entries, and a
+:class:`~repro.chaos.injector.ChaosInjector` arms that schedule against
+a live deployment.  All chaos randomness derives from the simulation
+seed via :meth:`repro.sim.rng.Rng.derived_seed`, so the same seed and
+plan reproduce the same faults bit-for-bit — and never perturb the
+draws the fault-free twin of the run would have made.
+"""
+
+from repro.chaos.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.chaos.injector import ChaosInjector
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "ChaosInjector"]

@@ -1,0 +1,169 @@
+"""Fault schedules: what breaks, when, and how hard.
+
+A :class:`FaultPlan` is pure data — a validated, JSON-serialisable list
+of :class:`FaultSpec` entries.  Arming it against a deployment is the
+injector's job; keeping the two separate means plans can be embedded in
+``BENCH_chaos.json``, diffed across runs, and round-tripped through
+checkpoints.
+
+Fault taxonomy (three layers, docs/CHAOS.md):
+
+host
+    ``host_blackout``      RPC refuses submissions for the window.
+    ``host_tx_drop``       each submission is dropped with ``probability``.
+    ``host_fee_spike``     congestion pinned at ``magnitude`` (0..1].
+    ``host_slot_stall``    no blocks are produced during the window.
+network
+    ``gossip_drop``        each delivery dropped with ``probability``.
+    ``gossip_duplicate``   each delivery duplicated ``magnitude`` times
+                           with ``probability``.
+    ``gossip_delay``       each delivery delayed by ~Exp(``magnitude``)
+                           extra seconds with ``probability``.
+    ``gossip_partition``   deliveries to subscribers whose label contains
+                           ``target`` are dropped for the window.
+actors
+    ``validator_crash``        validator ``target`` is offline for the window.
+    ``validator_equivocate``   validator ``target`` double-signs: a forged
+                               fingerprint at the current head height is
+                               gossiped ``magnitude`` times, spread over
+                               ``duration`` seconds (repeats defeat gossip
+                               loss and partitions; the fisherman dedups).
+    ``validator_bad_signature``validator ``target`` submits ``magnitude``
+                               sign transactions (spread over ``duration``)
+                               whose precompile entry does not verify
+                               against the block message.
+    ``relayer_crash``          the relayer halts, loses volatile state and
+                               restarts after ``duration`` seconds.
+    ``cranker_crash``          the cranker halts and restarts after
+                               ``duration`` seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """A fault plan failed validation."""
+
+
+#: kind -> (windowed?, needs_target?, uses_probability?, uses_magnitude?)
+FAULT_KINDS: dict[str, tuple[bool, bool, bool, bool]] = {
+    "host_blackout": (True, False, False, False),
+    "host_tx_drop": (True, False, True, False),
+    "host_fee_spike": (True, False, False, True),
+    "host_slot_stall": (True, False, False, False),
+    "gossip_drop": (True, False, True, False),
+    "gossip_duplicate": (True, False, True, True),
+    "gossip_delay": (True, False, True, True),
+    "gossip_partition": (True, True, False, False),
+    "validator_crash": (True, True, False, False),
+    "validator_equivocate": (False, True, False, True),
+    "validator_bad_signature": (False, True, False, True),
+    "relayer_crash": (True, False, False, False),
+    "cranker_crash": (True, False, False, False),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    kind: str
+    #: Start time in simulated seconds (relative to when the plan is armed).
+    at: float
+    #: Window length for windowed kinds; recovery delay for crash kinds.
+    duration: float = 0.0
+    #: Validator index (int), subscriber-label substring (partition), …
+    target: Optional[str] = None
+    #: Per-event probability for the probabilistic kinds.
+    probability: float = 1.0
+    #: Kind-specific intensity (congestion level, copies, seconds, count).
+    magnitude: float = 1.0
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+    def validate(self) -> None:
+        shape = FAULT_KINDS.get(self.kind)
+        if shape is None:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(sorted(FAULT_KINDS))}")
+        windowed, needs_target, uses_probability, _ = shape
+        if self.at < 0:
+            raise FaultPlanError(f"{self.kind}: negative start time {self.at}")
+        if self.duration < 0:
+            raise FaultPlanError(f"{self.kind}: negative duration")
+        if windowed and self.duration == 0:
+            raise FaultPlanError(f"{self.kind}: windowed fault needs duration > 0")
+        if needs_target and self.target is None:
+            raise FaultPlanError(f"{self.kind}: needs a target")
+        if uses_probability and not (0.0 < self.probability <= 1.0):
+            raise FaultPlanError(
+                f"{self.kind}: probability must be in (0, 1], "
+                f"got {self.probability}")
+        if self.magnitude < 0:
+            raise FaultPlanError(f"{self.kind}: negative magnitude")
+
+    def target_index(self) -> int:
+        """The target parsed as an integer (validator faults)."""
+        if self.target is None:
+            raise FaultPlanError(f"{self.kind}: no target to parse")
+        try:
+            return int(self.target)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"{self.kind}: target {self.target!r} is not an index") from exc
+
+
+@dataclass
+class FaultPlan:
+    """An ordered fault schedule, ready to arm or serialise."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    #: Mixed into the chaos rng label so two plans armed on the same
+    #: deployment draw independent streams.
+    label: str = "chaos"
+
+    def validate(self) -> "FaultPlan":
+        for spec in self.specs:
+            spec.validate()
+        return self
+
+    def add(self, kind: str, at: float, **kwargs) -> "FaultPlan":
+        spec = FaultSpec(kind=kind, at=at, **kwargs)
+        spec.validate()
+        self.specs.append(spec)
+        return self
+
+    def of_kind(self, kind: str) -> list[FaultSpec]:
+        return [spec for spec in self.specs if spec.kind == kind]
+
+    def horizon(self) -> float:
+        """Time by which every fault has started and every window closed."""
+        return max((spec.end for spec in self.specs), default=0.0)
+
+    # -- serialisation (BENCH embedding, checkpoint round-trips) --------
+
+    def to_dict(self) -> dict:
+        return {"label": self.label,
+                "specs": [asdict(spec) for spec in self.specs]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls(label=data.get("label", "chaos"),
+                   specs=[FaultSpec(**spec) for spec in data.get("specs", [])])
+        return plan.validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

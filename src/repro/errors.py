@@ -86,6 +86,15 @@ class MissingSignerError(HostError):
     """An instruction required a signature that was not provided."""
 
 
+class HostUnavailableError(HostError):
+    """The host RPC endpoint rejected the request outright (blackout).
+
+    Raised synchronously from ``submit``/``submit_bundle`` while a chaos
+    blackout window is active, mirroring a connection-refused RPC node.
+    Callers are expected to back off and retry; nothing was broadcast.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Guest blockchain
 # ---------------------------------------------------------------------------

@@ -8,8 +8,10 @@ Usage::
 
 Valid targets: fig2 fig3 fig4 fig5 fig6 table1 recv storage all —
 plus the operational targets ``throughput-smoke`` (CI assertions),
-``cluster`` (sharded multi-process sweep) and ``replay-audit``
-(checkpoint/restore/replay divergence check).
+``cluster`` (sharded multi-process sweep), ``replay-audit``
+(checkpoint/restore/replay divergence check), ``chaos-soak`` (the
+docs/CHAOS.md fault storm with its fault-free twin) and ``chaos-smoke``
+(the scaled-down asserting variant CI runs).
 """
 
 from __future__ import annotations
@@ -27,7 +29,8 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 #: ``throughput-smoke`` is CI-only (scaled-down, asserting) and not part
 #: of ``all``.
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
-_EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit"}
+_EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit",
+                  "chaos-soak", "chaos-smoke"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -151,6 +154,31 @@ def main(argv: list[str] | None = None) -> int:
         blocks.append(render_sweep(results))
         with open("BENCH_throughput.json", "w") as handle:
             json.dump(results, handle, indent=2)
+
+    if targets & {"chaos-soak", "chaos-smoke"}:
+        import json
+
+        from repro.experiments.chaos import (
+            ChaosSoakConfig, check_chaos_smoke, render_chaos,
+            run_chaos_smoke, run_chaos_soak,
+        )
+        smoke = "chaos-smoke" in targets
+        started = time.time()
+        print("Running the chaos soak"
+              + (" (smoke scale)" if smoke else "") + "...", file=sys.stderr)
+        record = (run_chaos_smoke(seed=args.seed) if smoke
+                  else run_chaos_soak(ChaosSoakConfig(seed=args.seed)))
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_chaos(record))
+        suffix = "_smoke" if smoke else ""
+        with open(f"BENCH_chaos{suffix}.json", "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        failures = check_chaos_smoke(record)
+        if failures:
+            print("\n\n".join(blocks))
+            for failure in failures:
+                print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+            return 1
 
     if "replay-audit" in targets:
         import json

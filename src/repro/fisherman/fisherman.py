@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import UnknownBlockError
+from repro.errors import HostUnavailableError, UnknownBlockError
 from repro.fisherman.evidence import GOSSIP_TOPIC, BlockClaim
 from repro.guest.api import GuestApi
 from repro.guest.contract import GuestContract
@@ -32,6 +32,12 @@ class FishermanReport:
 class Fisherman:
     """Monitors gossip and prosecutes equivocating validators."""
 
+    #: Bounded retry for evidence that failed to land (RPC blackout or a
+    #: dropped transaction): the prosecution must not silently die with
+    #: the first fault, or the offender keeps their stake.
+    max_attempts: int = 8
+    retry_seconds: float = 4.0
+
     def __init__(self, sim: Simulation, gossip: GossipNetwork,
                  contract: GuestContract, api: GuestApi) -> None:
         self.sim = sim
@@ -39,7 +45,8 @@ class Fisherman:
         self.api = api
         self.reports: list[FishermanReport] = []
         self._prosecuted: set[tuple[bytes, int, bytes]] = set()
-        gossip.subscribe(GOSSIP_TOPIC, self._on_claim)
+        self._subscription = gossip.subscribe(
+            GOSSIP_TOPIC, self._on_claim, label="fisherman")
 
     def _is_offence(self, claim: BlockClaim) -> bool:
         """The three §III-C offences collapse to: the claimed
@@ -59,17 +66,37 @@ class Fisherman:
         if self.contract.staking.stake_of(claim.validator) == 0:
             return  # nothing to slash
         self._prosecuted.add(key)
+        self._submit_claim(claim, attempt=1)
 
+    def _submit_claim(self, claim: BlockClaim, attempt: int) -> None:
         def record(receipt: TxReceipt) -> None:
             self.reports.append(FishermanReport(
                 claim=claim, accepted=receipt.success, error=receipt.error,
             ))
+            if receipt.success:
+                return
+            error = receipt.error or ""
+            if "no stake" in error or "matches the real block" in error:
+                return  # already slashed, or not actually an offence
+            # Transient failure (dropped transaction, fee race): retry.
+            self._schedule_retry(claim, attempt)
 
-        self.api.submit_evidence(
-            offender=claim.validator,
-            height=claim.height,
-            fingerprint=claim.fingerprint,
-            signature=claim.signature,
-            message=claim.message(),
-            on_result=record,
-        )
+        try:
+            self.api.submit_evidence(
+                offender=claim.validator,
+                height=claim.height,
+                fingerprint=claim.fingerprint,
+                signature=claim.signature,
+                message=claim.message(),
+                on_result=record,
+            )
+        except HostUnavailableError:
+            self._schedule_retry(claim, attempt)
+
+    def _schedule_retry(self, claim: BlockClaim, attempt: int) -> None:
+        if attempt >= self.max_attempts:
+            self.sim.trace.count("fisherman.retries.exhausted")
+            return
+        self.sim.trace.count("fisherman.retries")
+        self.sim.schedule(self.retry_seconds * attempt,
+                          self._submit_claim, claim, attempt + 1)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.crypto.keys import Keypair, PublicKey, Signature
+from repro.errors import HostUnavailableError
 from repro.guest import instructions as ins
 from repro.guest.contract import GuestContract
 from repro.host.chain import HostChain
@@ -86,6 +87,12 @@ class BatchOp:
 
 class GuestApi:
     """Builds and submits Guest Contract transactions for one payer."""
+
+    #: Resubmission cadence while the host RPC refuses (chaos blackout).
+    #: The multi-transaction flows below (chunked LC updates, batched
+    #: confirms) park their cursor and retry at this period instead of
+    #: losing their place mid-sequence.
+    blackout_retry_seconds: float = 2.0
 
     def __init__(self, chain: HostChain, contract: GuestContract,
                  payer, default_fee: Optional[FeeStrategy] = None) -> None:
@@ -216,7 +223,17 @@ class GuestApi:
                 ),
                 fee_strategy=self.default_fee,
             )
-            self.chain.submit(tx, on_result=on_result)
+            try:
+                self.chain.submit(tx, on_result=on_result)
+            except HostUnavailableError:
+                # Blackout mid-flush: park the unsent remainder and
+                # resume from this exact group once the RPC answers.
+                self.chain.sim.trace.count("chaos.confirms.deferred")
+                self.chain.sim.schedule(
+                    self.blackout_retry_seconds,
+                    self.confirm_acks, list(confirms[start:]), on_result,
+                )
+                return
 
     def submit_evidence(self, offender: PublicKey, height: int,
                         fingerprint: bytes, signature: Signature,
@@ -313,7 +330,7 @@ class GuestApi:
 
         state = {
             "first": None, "last": 0.0, "fees": 0, "ok": True,
-            "queue": list(transactions), "in_flight": 0,
+            "queue": list(transactions), "in_flight": 0, "finalized": False,
         }
 
         def finish(receipt: TxReceipt) -> None:
@@ -334,11 +351,26 @@ class GuestApi:
                 _track(state, receipt)
                 state["in_flight"] -= 1
             while state["queue"] and state["in_flight"] < window:
-                tx = state["queue"].pop(0)
+                tx = state["queue"][0]
+                try:
+                    self.chain.submit(tx, on_result=pump)
+                except HostUnavailableError:
+                    # Blackout mid-stream: keep the cursor where it is
+                    # and resume the chunk sequence once the RPC answers
+                    # (the staged buffer on-chain is unaffected).
+                    self.chain.sim.trace.count("chaos.lc_update.stalled")
+                    self.chain.sim.schedule(self.blackout_retry_seconds, pump)
+                    return
+                state["queue"].pop(0)
                 state["in_flight"] += 1
-                self.chain.submit(tx, on_result=pump)
-            if not state["queue"] and state["in_flight"] == 0:
-                self.chain.submit(finalize, on_result=finish)
+            if not state["queue"] and state["in_flight"] == 0 and not state["finalized"]:
+                try:
+                    self.chain.submit(finalize, on_result=finish)
+                except HostUnavailableError:
+                    self.chain.sim.trace.count("chaos.lc_update.stalled")
+                    self.chain.sim.schedule(self.blackout_retry_seconds, pump)
+                    return
+                state["finalized"] = True
 
         pump()
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.crypto.keys import SignatureScheme
-from repro.errors import HostError, ProgramError, ReproError
+from repro.errors import HostError, HostUnavailableError, ProgramError, ReproError
 from repro.host.accounts import Account, AccountsDb, Address
 from repro.host.compute import ComputeMeter
 from repro.host.events import HostEvent
@@ -106,6 +106,10 @@ class HostChain:
         #: independent of the order in which callers query
         #: :meth:`congestion_at` and of every other actor's draws.
         self._spike_seed = self._rng.derived_seed("congestion-spikes")
+        #: Optional fault policy (duck-typed; see repro.chaos.injector).
+        #: Consulted at the RPC edge (submit), in the congestion model
+        #: (fee spikes) and in slot production (stalls).
+        self.chaos = None
         self._slot_handle = sim.schedule(self.config.slot_seconds, self._produce_slot)
 
     # ------------------------------------------------------------------
@@ -134,8 +138,20 @@ class HostChain:
 
         Size violations raise immediately (the RPC node rejects oversized
         transactions before broadcast), so callers must chunk payloads.
+        During a chaos blackout the RPC refuses outright
+        (:class:`HostUnavailableError`, nothing broadcast); a chaos
+        drop loses the transaction in transit — the caller's
+        ``on_result`` sees a failed receipt after the usual delays.
         """
         transaction.check_size(self.config.max_transaction_bytes)
+        if self.chaos is not None:
+            self._check_rpc_available()
+            if self.chaos.drop_tx(self.sim.now):
+                self.sim.trace.count("chaos.host.tx_dropped")
+                self.sim.schedule(
+                    self._submit_latency() + self._observe_latency(),
+                    self._report_dropped, transaction, on_result)
+                return
         arrival = self._submit_latency()
         self.sim.trace.count("host.tx.submitted")
         self.sim.trace.begin("host.submit", key=transaction.tx_id, actor="host")
@@ -154,6 +170,14 @@ class HostChain:
             raise HostError("empty bundle")
         for transaction in transactions:
             transaction.check_size(self.config.max_transaction_bytes)
+        if self.chaos is not None:
+            self._check_rpc_available()
+            if self.chaos.drop_tx(self.sim.now):
+                self.sim.trace.count("chaos.host.bundles_dropped")
+                self.sim.schedule(
+                    self._submit_latency() + self._observe_latency(),
+                    self._report_dropped_bundle, list(transactions), on_result)
+                return
         bundle_id = next(_bundle_ids)
         receipts: list[TxReceipt] = []
         remaining = len(transactions)
@@ -178,6 +202,44 @@ class HostChain:
 
     def _submit_latency(self) -> float:
         return self._rng.expovariate(1.0 / self.config.submit_delay_mean)
+
+    def _observe_latency(self) -> float:
+        return self._rng.expovariate(1.0 / self.config.observe_delay_mean)
+
+    # ------------------------------------------------------------------
+    # Chaos fault edges (docs/CHAOS.md)
+    # ------------------------------------------------------------------
+
+    def _check_rpc_available(self) -> None:
+        if self.chaos is not None and self.chaos.rpc_blocked(self.sim.now):
+            self.sim.trace.count("chaos.host.rpc_refused")
+            raise HostUnavailableError("host RPC blackout (chaos)")
+
+    def _dropped_receipt(self, transaction: Transaction) -> TxReceipt:
+        return TxReceipt(
+            tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+            success=False, fee_paid=0, compute_consumed=0,
+            error="transaction dropped in transit (chaos)",
+        )
+
+    def _report_dropped(
+        self,
+        transaction: Transaction,
+        on_result: Optional[Callable[[TxReceipt], None]],
+    ) -> None:
+        if on_result is not None:
+            on_result(self._dropped_receipt(transaction))
+
+    def _report_dropped_bundle(
+        self,
+        transactions: list[Transaction],
+        on_result: Optional[Callable[[list[TxReceipt]], None]],
+    ) -> None:
+        if on_result is not None:
+            on_result(sorted(
+                (self._dropped_receipt(tx) for tx in transactions),
+                key=lambda receipt: receipt.tx_id,
+            ))
 
     def _arrive(
         self,
@@ -221,6 +283,10 @@ class HostChain:
         RNG: querying hours in any order — or under any workload — yields
         the same spike schedule for the same simulation seed.
         """
+        if self.chaos is not None:
+            override = self.chaos.congestion_override(time)
+            if override is not None:
+                return override
         hour = int(time // 3600)
         spike = self._spike_cache.get(hour)
         if spike is None:
@@ -239,6 +305,13 @@ class HostChain:
     # ------------------------------------------------------------------
 
     def _produce_slot(self) -> None:
+        if self.chaos is not None and self.chaos.slot_stalled(self.sim.now):
+            # Leader offline: no block this slot; the mempool keeps
+            # accumulating and drains when production resumes.
+            self.sim.trace.count("chaos.host.slots_stalled")
+            self._slot_handle = self.sim.schedule(
+                self.config.slot_seconds, self._produce_slot)
+            return
         self.slot += 1
         trace = self.sim.trace
         trace.gauge("host.mempool.depth", len(self._mempool))

@@ -136,6 +136,13 @@ class IbcHost:
         self._receipt_tracker: dict[tuple[PortId, ChannelId], _SequenceTracker] = {}
         self._ack_tracker: dict[tuple[PortId, ChannelId], _SequenceTracker] = {}
         self._ack_confirmed: dict[tuple[PortId, ChannelId], set[int]] = {}
+        #: (destination channel, sequence) -> (packet, ack) for every
+        #: ack this chain has written — the queryable event log a
+        #: restarting relayer rescans for ack returns whose volatile
+        #: state died with it (real chains expose this as indexed
+        #: WriteAcknowledgement events).
+        self.written_acks: dict[tuple[str, int],
+                                tuple[Packet, Acknowledgement]] = {}
         self._client_counter = 0
         self._connection_counter = 0
         self._channel_counter = 0
@@ -553,6 +560,8 @@ class IbcHost:
             tracker = self._ack_tracker.setdefault(destination, _SequenceTracker())
             tracker.record(packet.sequence, consume=False)
             self._seal_confirmed_acks(destination)
+        self.written_acks[
+            (str(packet.destination_channel), packet.sequence)] = (packet, ack)
         self.counters.packets_received += 1
         return ack
 

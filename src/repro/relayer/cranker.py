@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import HostUnavailableError
 from repro.guest.api import GuestApi
 from repro.guest.contract import GuestContract
 from repro.host.transaction import TxReceipt
@@ -53,7 +54,13 @@ class Cranker:
         if not self.paused and not self._in_flight and self._should_generate():
             self._in_flight = True
             self.sim.trace.count("cranker.cranks")
-            self.api.generate_block(on_result=self._done)
+            try:
+                self.api.generate_block(on_result=self._done)
+            except HostUnavailableError:
+                # RPC blackout (chaos): the next poll tick retries; the
+                # guest head simply ages until the host answers again.
+                self._in_flight = False
+                self.sim.trace.count("chaos.cranker.deferred")
         self.sim.schedule(self._jittered(), self._poll)
 
     def _done(self, receipt: TxReceipt) -> None:

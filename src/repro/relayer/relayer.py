@@ -27,7 +27,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import KeyNotFoundError, ReproError
+from repro.errors import (
+    HostUnavailableError, KeyNotFoundError, ReproError, SealedNodeError,
+)
 from repro.guest.api import BatchOp, DeliveryResult, GuestApi, LcUpdateResult
 from repro.guest.contract import GuestContract
 from repro.host.chain import HostChain
@@ -39,8 +41,10 @@ from repro.ibc.channel import ChannelOrder
 from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
 from repro.ibc.packet import Acknowledgement, Packet
 from repro.lightclient.guest_client import GuestClientUpdate, GuestLightClient
+from repro.relayer.resilience import CircuitBreaker, RetryPolicy
 from repro.relayer.strategy import SpendLedger
 from repro.sim.kernel import Simulation
+from repro.sim.rng import Rng
 from repro.counterparty.chain import CounterpartyChain
 
 
@@ -87,6 +91,22 @@ class RelayerConfig:
     #: hold-down makes each update cover more packets and shrinks the
     #: per-packet share of the §V-A update tax.
     lc_update_min_seconds: float = 0.0
+    #: Bounded retry for failed packet operations (docs/CHAOS.md): a
+    #: failed delivery/ack resubmits with exponential backoff and
+    #: deterministic jitter, after an idempotency check against the
+    #: guest's on-chain record (no double delivery, ever).
+    retry_max_attempts: int = 8
+    retry_base_seconds: float = 2.0
+    retry_cap_seconds: float = 30.0
+    #: Circuit breaker over the host RPC edge: after this many
+    #: consecutive blackout refusals the relayer stops hammering the
+    #: endpoint and probes on a doubling interval instead.
+    breaker_failure_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+    breaker_reset_cap_seconds: float = 60.0
+    #: Watchdog period (seconds, 0 disables): re-kicks LC updates and
+    #: bundle pumps that an error path or crash left wedged.
+    watchdog_seconds: float = 45.0
 
 
 @dataclass
@@ -98,6 +118,10 @@ class RelayerMetrics:
     acks_returned: list[DeliveryResult] = field(default_factory=list)
     packets_relayed_to_counterparty: int = 0
     packets_relayed_to_guest: int = 0
+    #: Recovery accounting (docs/CHAOS.md / BENCH_chaos.json).
+    retries: int = 0
+    redeliveries: int = 0
+    crashes: int = 0
 
 
 class Relayer:
@@ -149,6 +173,36 @@ class Relayer:
         #: Ack confirmations awaiting a coalesced CONFIRM_ACK flush.
         self._pending_confirms: list[tuple[str, str, int]] = []
         self._confirm_flush_handle = None
+
+        # -- recovery machinery (docs/CHAOS.md) ------------------------
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_seconds=self.config.retry_base_seconds,
+            cap_seconds=self.config.retry_cap_seconds,
+        )
+        self.breaker = CircuitBreaker(
+            sim, name="relay.breaker",
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_seconds=self.config.breaker_reset_seconds,
+            reset_cap_seconds=self.config.breaker_reset_cap_seconds,
+        )
+        #: Jitter stream minted via ``derived_seed`` so retries never
+        #: perturb the draws the rest of the simulation would make.
+        self._retry_rng = Rng(sim.rng.derived_seed("relayer-retry"))
+        #: Bumped by :meth:`crash`; callbacks capture the value at
+        #: submission and drop themselves if it moved (a dead process's
+        #: callbacks never run).
+        self._incarnation = 0
+        self._pump_retry_handle = None
+        #: Completion frontier over the counterparty's send queue: the
+        #: poll cursor can always rewind to ``_cp_frontier`` (the oldest
+        #: send not yet confirmed applied on the guest) after a crash
+        #: without losing or double-counting packets.
+        self._cp_frontier = 0
+        self._cp_done: set[int] = set()
+        self._cp_index_by_key: dict[tuple[str, int], int] = {}
+        if self.config.watchdog_seconds > 0:
+            sim.schedule(self.config.watchdog_seconds, self._watchdog)
 
         host.subscribe("FinalisedBlock", self._on_finalised_block)
         host.subscribe("PacketReceived", self._on_guest_packet_received)
@@ -255,24 +309,175 @@ class Relayer:
 
     def resume(self) -> None:
         """Come back from a failure-injected outage: replay the
-        finalised-block events missed while down."""
+        finalised-block events missed while down, then re-kick the LC
+        pipeline in case queued work was waiting on us.  Safe to call
+        while a hold-down retry timer is pending — the kick is guarded,
+        so no duplicate timer is armed and no queued packet is lost."""
         self.paused = False
         missed, self._missed_finalised = self._missed_finalised, []
         for event in missed:
             self._on_finalised_block(event)
+        self._kick_lc_update()
+
+    def crash(self) -> None:
+        """Chaos fault: kill the relayer process, losing volatile state.
+
+        Everything not yet handed to a chain is gone: staged batches,
+        queued bundles, queued LC work, staged ack returns, pending
+        timers.  Requests already accepted by an RPC may still land, but
+        their callbacks belong to the dead incarnation and are dropped.
+        The poll cursor rewinds to the completion frontier so every
+        counterparty packet whose delivery was uncommitted is re-fetched
+        after :meth:`restart`; the idempotency check in the retry path
+        keeps delivery exactly-once despite the replay.
+        """
+        self.paused = True
+        self._incarnation += 1
+        self.metrics.crashes += 1
+        self.sim.trace.count("relay.crashes")
+        self._pending_batch = []
+        if self._batch_flush_handle is not None:
+            self._batch_flush_handle.cancel()
+            self._batch_flush_handle = None
+        self._bundle_queue.clear()
+        self._bundles_in_flight = 0
+        if self._pump_retry_handle is not None:
+            self._pump_retry_handle.cancel()
+            self._pump_retry_handle = None
+        self._pending_confirms = []
+        if self._confirm_flush_handle is not None:
+            self._confirm_flush_handle.cancel()
+            self._confirm_flush_handle = None
+        self._lc_queue = []
+        self._lc_busy = False
+        if self._lc_holddown_handle is not None:
+            self._lc_holddown_handle.cancel()
+            self._lc_holddown_handle = None
+        self._pending_guest_acks.clear()
+        self._cp_index_by_key.clear()
+        self._cp_sends_seen = self._cp_frontier
+
+    def restart(self) -> None:
+        """Recover from a :meth:`crash`: rebuild the staged ack-return
+        set from retained host history, resume event handling (replaying
+        finalised blocks missed while down) and let the rewound poll
+        cursor re-fetch every in-doubt counterparty packet."""
+        self.sim.trace.count("relay.restarts")
+        self._recover_pending_acks()
+        self._recover_outstanding_acks()
+        self.resume()
+
+    def _recover_pending_acks(self) -> None:
+        """Rescan retained host blocks for ``PacketReceived`` events
+        whose ack return was lost with the crash.  Acks that were in
+        fact already returned are rejected by the counterparty when
+        resubmitted (and the rejection ignored), so over-recovery is
+        harmless — only the omission would be a liveness bug."""
+        recovered = 0
+        for block in self.host.blocks:
+            for event in block.events:
+                if event.name != "PacketReceived":
+                    continue
+                packet = event.payload.get("packet")
+                ack_bytes = event.payload.get("ack_bytes")
+                if packet is None or ack_bytes is None:
+                    continue
+                key = (event.payload["channel"], event.payload["sequence"])
+                if key in self._pending_guest_acks:
+                    continue
+                self._pending_guest_acks[key] = (
+                    packet, Acknowledgement.from_bytes(ack_bytes))
+                recovered += 1
+        if recovered:
+            self.sim.trace.count("relay.acks.recovered", recovered)
+
+    def _recover_outstanding_acks(self) -> None:
+        """Rescan the counterparty's written-ack log for guest->cp
+        packets the crash orphaned mid-ack-return: the counterparty
+        received the packet and wrote its ack, but the op hauling that
+        ack home lived only in the volatile LC/batch queues.  Any packet
+        whose commitment is still outstanding on the guest gets its ack
+        re-queued; for acks that did land, the commitment is gone and
+        the scan skips them, so over-recovery costs nothing."""
+        recovered = 0
+        for packet, ack in self.counterparty.ibc.written_acks.values():
+            try:
+                outstanding = self.contract.ibc.store.contains_seq(
+                    paths.commitment_prefix(packet.source_port,
+                                            packet.source_channel),
+                    packet.sequence,
+                )
+            except SealedNodeError:
+                outstanding = False
+            if not outstanding:
+                continue
+            self._queue_guest_work(
+                self.counterparty.height,
+                lambda h, p=packet, a=ack: self._ack_on_guest(p, a, h),
+            )
+            recovered += 1
+        if recovered:
+            self.sim.trace.count("relay.acks.recovered_cp", recovered)
 
     def _poll_counterparty(self) -> None:
         if self.paused:
             self.sim.schedule(self.config.poll_seconds, self._poll_counterparty)
             return
         fresh = self.counterparty.sent_packets_since(self._cp_sends_seen)
+        base = self._cp_sends_seen
         self._cp_sends_seen += len(fresh)
-        for packet, committed_height in fresh:
+        for offset, (packet, committed_height) in enumerate(fresh):
+            index = base + offset
+            if index in self._cp_done:
+                continue  # applied before a crash rewound the cursor
+            key = (str(packet.source_channel), packet.sequence)
+            self._cp_index_by_key[key] = index
             self._queue_guest_work(
                 committed_height,
                 lambda h, p=packet: self._deliver_to_guest(p, h),
             )
         self.sim.schedule(self.config.poll_seconds, self._poll_counterparty)
+
+    def _mark_cp_done(self, op: BatchOp) -> None:
+        """Record that a counterparty->guest packet is applied on-chain
+        and advance the completion frontier past every contiguous done
+        index (the crash-rewind point for the poll cursor)."""
+        if op.kind != "recv":
+            return
+        key = (str(op.packet.source_channel), op.packet.sequence)
+        index = self._cp_index_by_key.pop(key, None)
+        if index is None:
+            return
+        self._cp_done.add(index)
+        while self._cp_frontier in self._cp_done:
+            self._cp_done.discard(self._cp_frontier)
+            self._cp_frontier += 1
+
+    def _op_already_applied(self, op: BatchOp) -> bool:
+        """Idempotency check before a resubmission: did an earlier
+        attempt — ours pre-crash, or a rival relayer's — already land
+        this operation on the guest?  Receipts may be sealed (§III-A);
+        a sealed receipt means processed-and-pruned, i.e. applied."""
+        store = self.contract.ibc.store
+        packet = op.packet
+        try:
+            if op.kind == "recv":
+                return store.contains_seq(
+                    paths.receipt_prefix(packet.destination_port,
+                                         packet.destination_channel),
+                    packet.sequence,
+                )
+            if op.kind == "ack":
+                # The guest clears the packet commitment when it accepts
+                # the ack; a missing commitment means the ack landed.
+                return not store.contains_seq(
+                    paths.commitment_prefix(packet.source_port,
+                                            packet.source_channel),
+                    packet.sequence,
+                )
+        except SealedNodeError:
+            return True
+        return False
 
     def _deliver_to_guest(self, packet: Packet, lc_height: int) -> None:
         store = self.counterparty.store_at(lc_height)
@@ -313,21 +518,57 @@ class Relayer:
     def _pump_bundles(self) -> None:
         cap = self.config.max_inflight_bundles
         while self._bundle_queue and (cap is None or self._bundles_in_flight < cap):
+            if not self.breaker.allow():
+                # RPC edge is tripped: hold the queue until the probe
+                # window opens instead of hammering a dead endpoint.
+                self._schedule_pump_retry()
+                return
+            launch = self._bundle_queue.popleft()
             self._bundles_in_flight += 1
-            self._bundle_queue.popleft()()
+            try:
+                launch()
+            except HostUnavailableError:
+                # Blackout refusal: nothing was broadcast.  Requeue at
+                # the front, feed the breaker, and probe again later.
+                self._bundles_in_flight -= 1
+                self._bundle_queue.appendleft(launch)
+                self.breaker.record_failure()
+                self.sim.trace.count("relay.bundles.blackout_deferred")
+                self._schedule_pump_retry()
+                return
+            self.breaker.record_success()
+
+    def _schedule_pump_retry(self) -> None:
+        if self._pump_retry_handle is not None:
+            return
+        delay = max(self.breaker.retry_after(),
+                    self.retry_policy.base_seconds)
+        self._pump_retry_handle = self.sim.schedule(delay, self._pump_retry)
+
+    def _pump_retry(self) -> None:
+        self._pump_retry_handle = None
+        self._pump_bundles()
 
     def _bundle_done(self) -> None:
         self._bundles_in_flight -= 1
         self._pump_bundles()
 
-    def _submit_single(self, op: BatchOp, span) -> None:
-        def launch() -> None:
-            def done(result: DeliveryResult) -> None:
-                self._bundle_done()
+    def _submit_single(self, op: BatchOp, span, attempt: int = 1) -> None:
+        incarnation = self._incarnation
+
+        def done(result: DeliveryResult) -> None:
+            if incarnation != self._incarnation:
+                return  # submitted by a crashed incarnation; drop
+            self._bundle_done()
+            self._record_op_result(op, result)
+            if result.success:
                 if span is not None:
                     span.end(transactions=result.transaction_count)
-                self._record_op_result(op, result)
+                self._mark_cp_done(op)
+                return
+            self._retry_op(op, span, attempt)
 
+        def launch() -> None:
             tip = self.config.bundle_tip_lamports
             if op.kind == "recv":
                 self.api.deliver_packet(op.packet, op.proof, op.proof_height,
@@ -338,6 +579,34 @@ class Relayer:
                                             on_done=done)
 
         self._enqueue_bundle(launch)
+
+    def _retry_op(self, op: BatchOp, span, attempt: int) -> None:
+        """Bounded, idempotent retry of one failed packet operation."""
+        if self._op_already_applied(op):
+            # A previous attempt (or a rival relayer) landed it: do not
+            # resubmit.  Exactly-once delivery held on-chain; we only
+            # record the redundancy.
+            self.sim.trace.count("relay.redeliveries")
+            self.metrics.redeliveries += 1
+            if span is not None:
+                span.end(outcome="already-applied")
+            self._mark_cp_done(op)
+            return
+        if not self.retry_policy.allows(attempt):
+            self.sim.trace.count("relay.retries.exhausted")
+            if span is not None:
+                span.end(outcome="abandoned")
+            return
+        delay = self.retry_policy.delay(attempt, self._retry_rng)
+        self.sim.trace.count("relay.retries")
+        self.metrics.retries += 1
+        self.sim.schedule(delay, self._retry_fire, op, span, attempt + 1,
+                          self._incarnation)
+
+    def _retry_fire(self, op: BatchOp, span, attempt: int, incarnation: int) -> None:
+        if incarnation != self._incarnation or self.paused:
+            return  # crashed or paused meanwhile; replay handles it
+        self._submit_single(op, span, attempt)
 
     def _record_op_result(self, op: BatchOp, result: DeliveryResult) -> None:
         if op.kind == "recv":
@@ -390,24 +659,31 @@ class Relayer:
 
     def _submit_batch(self, items: list) -> None:
         ops = [op for op, _ in items]
+        incarnation = self._incarnation
 
         def done(result: DeliveryResult) -> None:
+            if incarnation != self._incarnation:
+                return  # submitted by a crashed incarnation; drop
             self._bundle_done()
             if not result.success:
-                # The whole bundle failed (e.g. rejected as oversized or
-                # starved of block space): fall back to the proven
-                # per-packet flow so no packet is lost.
+                # The whole bundle failed (rejected as oversized, starved
+                # of block space, or dropped in transit): requeue each op
+                # on the bounded per-packet retry path — explicit backoff,
+                # idempotency-checked, counted — so no packet is lost and
+                # none is double-delivered.
                 self.sim.trace.count("relay.batch.fallback")
                 self.ledger.record("batch-failed", result.total_fee,
                                    result.transaction_count)
                 for op, span in items:
-                    self._submit_single(op, span)
+                    self.sim.trace.count("relay.batch.requeued")
+                    self._retry_op(op, span, attempt=1)
                 return
             recv_count = sum(1 for op in ops if op.kind == "recv")
             ack_count = len(ops) - recv_count
             for op, span in items:
                 if span is not None:
                     span.end(transactions=result.transaction_count)
+                self._mark_cp_done(op)
             # Attribute the bundle's fee pro rata across the two flows
             # (the §V-B ledger stays meaningful under batching).
             fee_share = result.total_fee // len(ops)
@@ -455,7 +731,10 @@ class Relayer:
             except ReproError:
                 continue  # ack not yet inside this block's state root
 
-            def after_ack(result, cp_height: int, packet=packet) -> None:
+            def after_ack(result, cp_height: int, packet=packet,
+                          incarnation=self._incarnation) -> None:
+                if incarnation != self._incarnation:
+                    return  # submitted by a crashed incarnation; drop
                 if isinstance(result, ReproError):
                     return
                 # The sender processed the ack; seal it on the guest
@@ -465,17 +744,7 @@ class Relayer:
                     str(packet.destination_channel),
                     packet.sequence,
                 )
-                if self.config.batch_max_packets > 1:
-                    # Coalesced flow: seal many acks per transaction
-                    # instead of paying a host transaction per packet.
-                    self._pending_confirms.append(confirm)
-                    if self._confirm_flush_handle is None:
-                        self._confirm_flush_handle = self.sim.schedule(
-                            self.config.batch_flush_seconds,
-                            self._flush_confirms,
-                        )
-                    return
-                self.api.confirm_ack(*confirm)
+                self._confirm_seal(confirm)
 
             self.counterparty.submit(
                 lambda packet=packet, ack=ack, proof=proof,
@@ -485,6 +754,32 @@ class Relayer:
                 on_result=after_ack,
             )
             del self._pending_guest_acks[key]
+
+    def _confirm_seal(self, confirm: tuple[str, str, int]) -> None:
+        if self.config.batch_max_packets > 1:
+            # Coalesced flow: seal many acks per transaction instead of
+            # paying a host transaction per packet.
+            self._pending_confirms.append(confirm)
+            if self._confirm_flush_handle is None:
+                self._confirm_flush_handle = self.sim.schedule(
+                    self.config.batch_flush_seconds,
+                    self._flush_confirms,
+                )
+            return
+        try:
+            self.api.confirm_ack(*confirm)
+        except HostUnavailableError:
+            self.sim.trace.count("relay.confirms.deferred")
+            self.sim.schedule(
+                self.retry_policy.delay(1, self._retry_rng),
+                self._confirm_retry, confirm, self._incarnation,
+            )
+
+    def _confirm_retry(self, confirm: tuple[str, str, int],
+                       incarnation: int) -> None:
+        if incarnation != self._incarnation:
+            return
+        self._confirm_seal(confirm)
 
     def _flush_confirms(self) -> None:
         self._confirm_flush_handle = None
@@ -535,10 +830,17 @@ class Relayer:
             update,
             window=self.config.lc_update_window,
             fee=fee,
-            on_done=lambda result: self._lc_done(result),
+            on_done=lambda result, gen=self._incarnation: self._lc_done(result, gen),
         )
 
-    def _lc_done(self, result: LcUpdateResult) -> None:
+    def _lc_done(self, result: LcUpdateResult,
+                 generation: Optional[int] = None) -> None:
+        if generation is not None and generation != self._incarnation:
+            # An update stream started before a crash finished after the
+            # restart: its accounting belongs to the dead incarnation and
+            # must not corrupt the new one's LC state machine.
+            self.sim.trace.count("relay.lc_updates.stale_dropped")
+            return
         self._lc_busy = False
         self._lc_last_finish = self.sim.now
         trace = self.sim.trace
@@ -558,6 +860,21 @@ class Relayer:
         if self._lc_queue:
             self._kick_lc_update()
 
+    def _watchdog(self) -> None:
+        """Liveness backstop: re-kick work an error path or crash left
+        wedged — queued LC waiters with no update running and no retry
+        timer armed, or bundles sitting in the queue with no pump
+        scheduled (e.g. after a breaker probe window elapsed)."""
+        self.sim.schedule(self.config.watchdog_seconds, self._watchdog)
+        if self.paused:
+            return
+        if self._lc_queue and not self._lc_busy and self._lc_holddown_handle is None:
+            self.sim.trace.count("relay.watchdog.lc_kicks")
+            self._kick_lc_update()
+        if self._bundle_queue and self._pump_retry_handle is None:
+            self.sim.trace.count("relay.watchdog.pump_kicks")
+            self._pump_bundles()
+
     # ==================================================================
     # Handshake coordination (ICS-03 + ICS-04, both four-step dances)
     # ==================================================================
@@ -571,7 +888,17 @@ class Relayer:
         """Submit a handshake datagram to the guest and await its event
         (which carries the host slot the mutation executed at)."""
         self._handshake_waiter = then
-        self.api.submit_handshake(msg)
+        self._submit_handshake_retrying(msg)
+
+    def _submit_handshake_retrying(self, msg) -> None:
+        try:
+            self.api.submit_handshake(msg)
+        except HostUnavailableError:
+            self.sim.trace.count("relay.handshakes.deferred")
+            self.sim.schedule(
+                self.retry_policy.delay(1, self._retry_rng),
+                self._submit_handshake_retrying, msg,
+            )
 
     def _ensure_cp_view(self, min_slot: int, then: Callable[[int], None]) -> None:
         """Run ``then(height)`` once the counterparty's guest client has

@@ -1,0 +1,119 @@
+"""Recovery primitives for the relayer/cranker hot paths (docs/CHAOS.md).
+
+Two small, deterministic building blocks:
+
+* :class:`RetryPolicy` — bounded exponential backoff with deterministic
+  jitter.  Jitter draws come from an :class:`~repro.sim.rng.Rng` the
+  caller owns (minted via ``derived_seed`` so retries never perturb the
+  rest of the simulation's draws), keeping every schedule reproducible.
+* :class:`CircuitBreaker` — the classic closed / open / half-open
+  machine over simulated time.  It opens after consecutive failures
+  (e.g. host RPC blackouts), refuses work while open, and lets a single
+  probe through per reset interval; the interval doubles on failed
+  probes so a long blackout costs O(log) probes, not a retry storm.
+
+Neither class schedules anything itself: callers ask "may I?" / "how
+long should I wait?" and do their own scheduling, so the primitives stay
+trivially checkpointable (plain picklable state, no captured handles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import Rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 8
+    base_seconds: float = 2.0
+    cap_seconds: float = 30.0
+    #: Jitter spread: the raw backoff is scaled by a factor drawn
+    #: uniformly from ``[1 - jitter, 1 + jitter]``.  Zero disables it.
+    jitter: float = 0.5
+
+    def allows(self, attempt: int) -> bool:
+        """May a caller schedule attempt number ``attempt + 1``?"""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, rng: Rng) -> float:
+        """Backoff before the next try after failed attempt ``attempt``
+        (1-based).  Exponential in the attempt number, capped, jittered."""
+        raw = min(self.cap_seconds, self.base_seconds * (2.0 ** (attempt - 1)))
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over simulated time."""
+
+    def __init__(self, sim, name: str = "breaker",
+                 failure_threshold: int = 3,
+                 reset_seconds: float = 5.0,
+                 reset_cap_seconds: float = 60.0) -> None:
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.reset_cap_seconds = reset_cap_seconds
+        self.state = "closed"
+        self.opened_count = 0
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._retry_at = 0.0
+        self._current_reset = reset_seconds
+
+    # -- queries --------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt work now?  While open, exactly one
+        probe is admitted per reset interval (moving to half-open)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open" and self.sim.now >= self._retry_at:
+            self.state = "half-open"
+            self.sim.trace.count(f"{self.name}.probes")
+            return True
+        return self.state == "half-open"
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self._retry_at - self.sim.now)
+
+    # -- transitions ----------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            self.sim.trace.count(f"{self.name}.closed")
+            self.sim.trace.observe(
+                f"{self.name}.open_seconds", self.sim.now - self._opened_at)
+        self.state = "closed"
+        self._consecutive_failures = 0
+        self._current_reset = self.reset_seconds
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == "half-open":
+            # Failed probe: reopen and back the probe cadence off.
+            self._current_reset = min(
+                self.reset_cap_seconds, self._current_reset * 2.0)
+            self._trip()
+        elif (self.state == "closed"
+              and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+        elif self.state == "open":
+            self._retry_at = max(self._retry_at, self.sim.now + self._current_reset)
+
+    def _trip(self) -> None:
+        if self.state != "open":
+            self.opened_count += 1
+            self._opened_at = self.sim.now
+            self.sim.trace.count(f"{self.name}.opened")
+        self.state = "open"
+        self._retry_at = self.sim.now + self._current_reset

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto.keys import Keypair
+from repro.errors import HostUnavailableError
 from repro.guest.api import GuestApi
 from repro.guest.contract import GuestContract
 from repro.host.chain import HostChain
@@ -139,11 +140,18 @@ class ValidatorNode:
                 success=receipt.success,
             ))
 
-        self.api.sign_block(
-            height, self.keypair, message,
-            fee=self.fee_strategy(),
-            on_result=record,
-        )
+        try:
+            self.api.sign_block(
+                height, self.keypair, message,
+                fee=self.fee_strategy(),
+                on_result=record,
+            )
+        except HostUnavailableError:
+            # RPC blackout (chaos): retry after a beat.  If the block
+            # finalises meanwhile the retry returns early above, and the
+            # periodic sweep backstops any missed height regardless.
+            self.sim.trace.count("chaos.validator.sign_deferred")
+            self.sim.schedule(5.0, self._sign, height)
 
     # ------------------------------------------------------------------
     # Metrics helpers (Table I columns)

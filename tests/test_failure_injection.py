@@ -5,11 +5,19 @@ relayer and cranker are permissionless and untrusted (an outage delays,
 never corrupts), and validator outages stall finalisation only until
 quorum returns (§V-C).  These tests inject each outage and verify both
 the degradation and the recovery.
+
+Originally these scenarios flipped actor flags by hand; they now drive
+the same outages through the declarative `repro.chaos` FaultPlan API
+(docs/CHAOS.md) while keeping the original assertions.  A relayer
+outage is a ``relayer_crash`` fault (harsher than the old pause: it
+also loses volatile state), a cranker outage a ``cranker_crash``, and
+the mass validator outage one ``validator_crash`` per validator.
 """
 
 import pytest
 
 from repro import Deployment, DeploymentConfig
+from repro.chaos import ChaosInjector, FaultPlan
 from repro.guest.config import GuestConfig
 from repro.validators.profiles import simple_profiles
 
@@ -22,16 +30,24 @@ def make_dep(seed):
     ))
 
 
+def arm(dep, kind, duration, **kwargs):
+    plan = FaultPlan(label=f"test-{kind}").add(kind, at=0.0,
+                                               duration=duration, **kwargs)
+    return ChaosInjector(dep, plan).arm()
+
+
 class TestRelayerOutage:
     def test_packets_delayed_not_lost(self):
         dep = make_dep(161)
         guest_chan, cp_chan = dep.establish_link()
         dep.contract.bank.mint("alice", "GUEST", 1_000)
 
-        dep.relayer.paused = True
+        arm(dep, "relayer_crash", duration=300.0)
+        dep.run_for(1.0)                 # the fault fires
+        assert dep.relayer.paused
         payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 100, "alice", "bob")
         dep.user_api.send_packet("transfer", str(guest_chan), payload)
-        dep.run_for(300.0)
+        dep.run_for(290.0)
 
         voucher = dep.counterparty.transfer.voucher_denom(cp_chan, "GUEST")
         # Down: the packet is committed and finalised on the guest but
@@ -39,8 +55,8 @@ class TestRelayerOutage:
         assert dep.contract.ibc.counters.packets_sent == 1
         assert dep.counterparty.bank.balance("bob", voucher) == 0
 
-        dep.relayer.resume()
-        dep.run_for(240.0)
+        dep.run_for(300.0)               # injector restarted the relayer
+        assert not dep.relayer.paused
         assert dep.counterparty.bank.balance("bob", voucher) == 100
         assert dep.contract.ibc.counters.packets_acknowledged == 1
 
@@ -48,7 +64,7 @@ class TestRelayerOutage:
         dep = make_dep(162)
         guest_chan, cp_chan = dep.establish_link()
         dep.counterparty.bank.mint("carol", "PICA", 1_000)
-        dep.relayer.paused = True
+        arm(dep, "relayer_crash", duration=250.0)
 
         def send():
             data = dep.counterparty.transfer.make_payload(cp_chan, "PICA", 50, "carol", "dave")
@@ -58,10 +74,11 @@ class TestRelayerOutage:
             dep.counterparty.submit(send)
         dep.run_for(200.0)
         voucher = dep.contract.transfer.voucher_denom(guest_chan, "PICA")
+        assert dep.relayer.paused
         assert dep.contract.bank.balance("dave", voucher) == 0
 
-        dep.relayer.resume()
-        dep.run_for(400.0)
+        dep.run_for(450.0)               # restarted at t=250; queue drains
+        assert not dep.relayer.paused
         assert dep.contract.bank.balance("dave", voucher) == 150
 
 
@@ -69,19 +86,21 @@ class TestCrankerOutage:
     def test_blocks_stall_then_resume(self):
         dep = make_dep(163)
         dep.establish_link()
-        dep.cranker.paused = True
+        arm(dep, "cranker_crash", duration=250.0)
+        dep.run_for(1.0)
+        assert dep.cranker.paused
         height_at_pause = dep.contract.head.height
         dep.contract.bank.mint("alice", "GUEST", 100)
         guest_chan = dep.relayer.guest_channel[1]
         payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
         dep.user_api.send_packet("transfer", str(guest_chan), payload)
-        dep.run_for(200.0)
+        dep.run_for(199.0)
         # Nobody cranks GenerateBlock: the commitment sits outside any
         # block (the state root moved but no block was generated).
         assert dep.contract.head.height == height_at_pause
 
-        dep.cranker.paused = False
-        dep.run_for(120.0)
+        dep.run_for(170.0)               # the fault window closed at 250
+        assert not dep.cranker.paused
         assert dep.contract.head.height > height_at_pause
         assert dep.contract.ibc.counters.packets_sent == 1
 
@@ -91,12 +110,13 @@ class TestCrankerOutage:
         anyone")."""
         dep = make_dep(164)
         dep.establish_link()
-        dep.cranker.paused = True
+        arm(dep, "cranker_crash", duration=600.0)   # down for the whole test
         dep.contract.bank.mint("alice", "GUEST", 100)
         guest_chan = dep.relayer.guest_channel[1]
         payload = dep.contract.transfer.make_payload(guest_chan, "GUEST", 10, "alice", "bob")
         dep.user_api.send_packet("transfer", str(guest_chan), payload)
         dep.run_for(60.0)
+        assert dep.cranker.paused
         height_before = dep.contract.head.height
 
         results = []
@@ -112,9 +132,11 @@ class TestValidatorMassOutage:
         unfinalised; bring them back, the sweep finalises it."""
         dep = make_dep(165)
         dep.establish_link()
-        outage_start = dep.sim.now
+        plan = FaultPlan(label="mass-outage")
         for node in dep.validators:
-            node._outages.append((outage_start, outage_start + 400.0))
+            plan.add("validator_crash", at=0.0, duration=400.0,
+                     target=str(node.profile.index))
+        ChaosInjector(dep, plan).arm()
 
         dep.contract.bank.mint("alice", "GUEST", 100)
         guest_chan = dep.relayer.guest_channel[1]

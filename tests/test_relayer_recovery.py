@@ -1,0 +1,213 @@
+"""Relayer recovery: resume, crash/restart, and the bounded retry path.
+
+`Relayer.resume` must be safe to call whatever the relayer was doing
+when it went down — including while an LC hold-down retry timer is
+pending (the docs/CHAOS.md hardening): the re-kick is guarded, so no
+duplicate timer is armed and no queued packet is lost.  Crash/restart
+must keep delivery exactly-once despite the rewound poll cursor, and a
+failed BATCH_EXEC bundle must requeue its members through the bounded
+retry path.
+"""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.chaos import ChaosInjector, FaultPlan
+from repro.guest.config import GuestConfig
+from repro.relayer.relayer import RelayerConfig
+from repro.validators.profiles import simple_profiles
+
+
+def make_dep(seed, relayer_config=None):
+    return Deployment(DeploymentConfig(
+        seed=seed,
+        guest=GuestConfig(delta_seconds=90.0, min_stake_lamports=1),
+        relayer=relayer_config or RelayerConfig(),
+        profiles=simple_profiles(4),
+        tracing=True,
+    ))
+
+
+def cp_send(dep, cp_chan, amount=50, sender="carol", receiver="dave"):
+    def send():
+        data = dep.counterparty.transfer.make_payload(
+            cp_chan, "PICA", amount, sender, receiver)
+        dep.counterparty.ibc.send_packet(
+            dep.counterparty.transfer_port, cp_chan, data, 0.0)
+
+    dep.counterparty.submit(send)
+
+
+class TestResume:
+    def test_resume_with_pending_holddown_arms_no_duplicate_timer(self):
+        dep = make_dep(271, RelayerConfig(lc_update_min_seconds=120.0))
+        guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 1_000)
+
+        dep.relayer.paused = True
+        cp_send(dep, cp_chan)
+        dep.run_for(30.0)                 # the send commits; relayer down
+        # Make "too soon since the last LC update" unambiguous so the
+        # kick below must take the hold-down branch.
+        dep.relayer._lc_last_finish = dep.sim.now
+        assert dep.relayer._lc_holddown_handle is None
+
+        dep.relayer.resume()
+        dep.run_for(10.0)                 # poll finds the packet, kicks LC
+        handle = dep.relayer._lc_holddown_handle
+        assert handle is not None         # hold-down timer pending
+
+        dep.relayer.resume()              # resume *again*, timer pending
+        assert dep.relayer._lc_holddown_handle is handle  # not replaced
+
+        dep.run_for(400.0)                # hold-down elapses, update runs
+        voucher = dep.contract.transfer.voucher_denom(guest_chan, "PICA")
+        assert dep.contract.bank.balance("dave", voucher) == 50  # not lost
+        assert dep.relayer.metrics.packets_relayed_to_guest == 1  # exactly once
+        assert dep.relayer._lc_holddown_handle is None
+
+    def test_resume_is_idempotent_when_idle(self):
+        dep = make_dep(272)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.relayer.resume()
+        dep.relayer.resume()
+        dep.run_for(30.0)
+        assert not dep.relayer.paused
+
+    def test_resume_replays_missed_finalised_blocks(self):
+        dep = make_dep(273)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 500)
+
+        dep.relayer.paused = True
+        payload = dep.contract.transfer.make_payload(
+            guest_chan, "GUEST", 100, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+        dep.run_for(300.0)                # finalised while the relayer slept
+        assert dep.relayer._missed_finalised  # events buffered, not lost
+
+        dep.relayer.resume()
+        dep.run_for(240.0)
+        voucher = dep.counterparty.transfer.voucher_denom(cp_chan, "GUEST")
+        assert dep.counterparty.bank.balance("bob", voucher) == 100
+        assert dep.relayer._missed_finalised == []
+
+
+class TestCrashRestart:
+    def test_crash_midflight_keeps_delivery_exactly_once(self):
+        dep = make_dep(274)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 1_000)
+        for _ in range(5):
+            cp_send(dep, cp_chan)
+        dep.run_for(45.0)                 # some delivered, some in flight
+
+        dep.relayer.crash()
+        assert dep.relayer._bundle_queue == [] or not dep.relayer._bundle_queue
+        assert dep.relayer._bundles_in_flight == 0
+        dep.run_for(30.0)                 # dead: nothing moves
+
+        dep.relayer.restart()
+        dep.run_for(900.0)
+        voucher = dep.contract.transfer.voucher_denom(guest_chan, "PICA")
+        assert dep.contract.bank.balance("dave", voucher) == 250  # 5 x 50, once
+        assert dep.relayer.metrics.crashes == 1
+        counters = dep.trace_report().counters
+        assert counters.get("relay.restarts") == 1
+
+    def test_crash_midflight_guest_to_cp(self):
+        dep = make_dep(275)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 500)
+        for _ in range(3):
+            payload = dep.contract.transfer.make_payload(
+                guest_chan, "GUEST", 100, "alice", "bob")
+            dep.user_api.send_packet("transfer", str(guest_chan), payload)
+        dep.run_for(60.0)
+
+        dep.relayer.crash()
+        dep.run_for(30.0)
+        dep.relayer.restart()
+        dep.run_for(900.0)
+
+        voucher = dep.counterparty.transfer.voucher_denom(cp_chan, "GUEST")
+        assert dep.counterparty.bank.balance("bob", voucher) == 300
+        assert dep.contract.ibc.counters.packets_acknowledged == 3
+
+    def test_crash_after_cp_delivery_recovers_the_ack(self):
+        """Regression: a guest->cp packet delivered to the counterparty
+        just before a crash had its ack-return op wiped with the
+        volatile queues — and nothing rescanned for it, so the guest's
+        packet commitment never cleared.  `restart` now rescans the
+        counterparty's written-ack log for outstanding commitments."""
+        dep = make_dep(278)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.contract.bank.mint("alice", "GUEST", 500)
+        # Blackout stalls the guest-side ack ops in volatile queues
+        # (delivery to the cp does not use the host, so it completes);
+        # the crash then destroys them.
+        plan = (FaultPlan(label="ack-loss")
+                .add("host_blackout", at=10.0, duration=20.0)
+                .add("relayer_crash", at=30.0, duration=15.0))
+        ChaosInjector(dep, plan).arm()
+        payload = dep.contract.transfer.make_payload(
+            guest_chan, "GUEST", 100, "alice", "bob")
+        dep.user_api.send_packet("transfer", str(guest_chan), payload)
+        dep.run_for(400.0)
+
+        voucher = dep.counterparty.transfer.voucher_denom(cp_chan, "GUEST")
+        assert dep.counterparty.bank.balance("bob", voucher) == 100
+        assert dep.contract.ibc.counters.packets_acknowledged == 1
+        counters = dep.trace_report().counters
+        assert counters.get("relay.acks.recovered_cp", 0) >= 1
+
+    def test_dead_incarnation_callbacks_are_dropped(self):
+        dep = make_dep(276)
+        dep.establish_link()
+        incarnation = dep.relayer._incarnation
+        dep.relayer.crash()
+        assert dep.relayer._incarnation == incarnation + 1
+        # A stale LC completion from before the crash must not corrupt
+        # the new incarnation's state machine.
+        dep.relayer._lc_busy = True
+        from repro.guest.api import LcUpdateResult
+        dep.relayer._lc_done(
+            LcUpdateResult(height=1, transaction_count=0, signature_count=0,
+                           total_fee=0, first_tx_time=0.0, last_tx_time=0.0,
+                           success=False),
+            generation=incarnation)
+        assert dep.relayer._lc_busy      # stale result ignored
+        counters = dep.trace_report().counters
+        assert counters.get("relay.lc_updates.stale_dropped") == 1
+
+
+class TestBatchRequeue:
+    def test_failed_batch_requeues_through_bounded_retry(self):
+        dep = make_dep(277, RelayerConfig(
+            batch_max_packets=16, batch_flush_seconds=1.0))
+        guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 1_000)
+        for _ in range(8):
+            cp_send(dep, cp_chan)
+
+        # Step until the delivery ops are staged in a batch (the LC
+        # update gating them has succeeded), then open a total-loss
+        # window: the coalesced BATCH_EXEC bundle is dropped in transit
+        # and must fall back to the per-packet bounded retry path.
+        deadline = dep.sim.now + 600.0
+        while not dep.relayer._pending_batch and dep.sim.now < deadline:
+            dep.sim.step()
+        assert len(dep.relayer._pending_batch) == 8
+        plan = FaultPlan().add("host_tx_drop", at=0.0, duration=15.0,
+                               probability=1.0)
+        ChaosInjector(dep, plan).arm()
+        dep.run_for(600.0)
+
+        voucher = dep.contract.transfer.voucher_denom(guest_chan, "PICA")
+        assert dep.contract.bank.balance("dave", voucher) == 400  # 8 x 50
+        counters = dep.trace_report().counters
+        assert counters.get("relay.batch.fallback", 0) >= 1
+        assert counters.get("relay.batch.requeued", 0) == 8
+        assert counters.get("relay.retries", 0) > 0     # backoff attempts
+        assert counters.get("relay.retries.exhausted", 0) == 0
+        assert counters.get("relay.redeliveries", 0) == 0  # never doubled

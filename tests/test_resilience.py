@@ -1,0 +1,133 @@
+"""Units for the recovery primitives behind docs/CHAOS.md.
+
+`RetryPolicy` and `CircuitBreaker` are the two deterministic building
+blocks every hardened path (relayer bundles, fisherman evidence, LC
+update pump) leans on; these tests pin their contracts down in
+isolation so the chaos-storm tests can blame the integration, not the
+primitives.
+"""
+
+from repro.observability import NULL_TRACER
+from repro.relayer.resilience import CircuitBreaker, RetryPolicy
+from repro.sim.rng import Rng
+
+
+class FakeSim:
+    """Just enough of the kernel for time-based primitives."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.trace = NULL_TRACER
+
+
+class TestRetryPolicy:
+    def test_allows_is_bounded(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(0)
+        assert policy.allows(2)
+        assert not policy.allows(3)
+        assert not policy.allows(10)
+
+    def test_delay_is_exponential_then_capped(self):
+        policy = RetryPolicy(base_seconds=2.0, cap_seconds=30.0, jitter=0.0)
+        rng = Rng(1)
+        assert policy.delay(1, rng) == 2.0
+        assert policy.delay(2, rng) == 4.0
+        assert policy.delay(3, rng) == 8.0
+        assert policy.delay(10, rng) == 30.0  # capped
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_seconds=4.0, cap_seconds=100.0, jitter=0.25)
+        rng = Rng(7)
+        for attempt in (1, 2, 3):
+            raw = 4.0 * (2.0 ** (attempt - 1))
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        first = [policy.delay(n, Rng(99)) for n in range(1, 6)]
+        second = [policy.delay(n, Rng(99)) for n in range(1, 6)]
+        assert first == second
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        sim = FakeSim()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_seconds", 5.0)
+        kwargs.setdefault("reset_cap_seconds", 60.0)
+        return sim, CircuitBreaker(sim, **kwargs)
+
+    def test_trips_after_consecutive_failures(self):
+        sim, breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        sim, breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_single_probe_per_interval_then_close(self):
+        sim, breaker = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after() == 5.0
+        sim.now = 4.9
+        assert not breaker.allow()
+        sim.now = 5.0
+        assert breaker.allow()            # the probe
+        assert breaker.state == "half-open"
+        assert breaker.allow()            # half-open keeps admitting the prober
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.retry_after() == 0.0
+
+    def test_failed_probe_doubles_the_interval(self):
+        sim, breaker = self.make()
+        for _ in range(3):
+            breaker.record_failure()      # open, retry at t=5
+        sim.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()          # failed probe: reopen, interval 10
+        assert breaker.state == "open"
+        assert breaker.retry_after() == 10.0
+        sim.now = 15.0
+        assert breaker.allow()
+        breaker.record_failure()          # interval 20
+        assert breaker.retry_after() == 20.0
+
+    def test_interval_is_capped(self):
+        sim, breaker = self.make(reset_seconds=5.0, reset_cap_seconds=12.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(5):                # repeated failed probes
+            sim.now += breaker.retry_after()
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.retry_after() <= 12.0
+
+    def test_success_resets_the_interval_too(self):
+        sim, breaker = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        sim.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()          # interval now 10
+        sim.now = 20.0
+        assert breaker.allow()
+        breaker.record_success()          # closed; interval back to 5
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after() == 5.0
