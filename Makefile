@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples cluster-smoke chaos-smoke all
+.PHONY: install test lint bench figures examples cluster-smoke chaos-smoke \
+	wallclock-smoke profile-soak all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -34,5 +35,14 @@ cluster-smoke:
 # Fault-storm convergence check with a fault-free twin (docs/CHAOS.md).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments chaos-smoke
+
+# Wall-clock hot-path gate: a scaled soak must clear the events/sec
+# floor (docs/PERFORMANCE.md).  Writes BENCH_wallclock_smoke.json.
+wallclock-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments wallclock-smoke
+
+# cProfile the soak workload and print the top of the profile.
+profile-soak:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments profile-soak
 
 all: lint test bench figures

@@ -97,9 +97,7 @@ def validate_event_queue(sim) -> None:
     means the queue's continuations can be re-bound at restore time.
     """
     problems = validation_errors(
-        handle.callback
-        for _, _, handle in sim._queue
-        if not handle.cancelled
+        handle.callback for _, handle in sim.iter_pending()
     )
     if problems:
         details = "\n  - ".join(problems)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 PUBLIC_KEY_SIZE = 32
 SIGNATURE_SIZE = 64
@@ -75,6 +76,23 @@ class SignatureScheme(abc.ABC):
     @abc.abstractmethod
     def verify(self, public_key: PublicKey, message: bytes, signature: Signature) -> bool:
         """Return ``True`` iff ``signature`` is valid for ``message``."""
+
+    def verify_batch(
+        self, entries: "Sequence[tuple[PublicKey, bytes, Signature]]"
+    ) -> bool:
+        """Verify a whole batch of ``(public_key, message, signature)``.
+
+        Returns ``True`` iff *every* entry verifies — all-or-nothing, the
+        contract both callers need (a light-client quorum check and the
+        host runtime's per-transaction precompile list both reject the
+        whole set on any failure).  The base implementation loops over
+        :meth:`verify` with an early exit; schemes override it when they
+        can amortise per-call setup across the batch.
+        """
+        return all(
+            self.verify(public_key, message, signature)
+            for public_key, message, signature in entries
+        )
 
 
 @dataclass(frozen=True, slots=True)

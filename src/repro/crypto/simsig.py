@@ -57,3 +57,24 @@ class SimSigScheme(SignatureScheme):
         if seed is None:
             return False
         return bytes(signature) == self._expected_signature(seed, message)
+
+    def verify_batch(self, entries) -> bool:
+        """All-or-nothing batch verification in one pass.
+
+        A quorum check verifies dozens of signatures per light-client
+        update; doing it here with the registry lookup, domain prefix and
+        hash constructor bound once per batch (rather than re-entered per
+        :meth:`verify` call) measurably trims the soak profile's
+        signature share.  Fails fast on the first bad entry.
+        """
+        seeds = self._seeds
+        sha256 = hashlib.sha256
+        domain = _SIG_DOMAIN
+        for public_key, message, signature in entries:
+            seed = seeds.get(public_key.value)
+            if seed is None:
+                return False
+            first = sha256(domain + seed + message).digest()
+            if signature.value != first + sha256(first).digest():
+                return False
+        return True

@@ -12,9 +12,16 @@ strings, and a cursor-based reader.
 
 from __future__ import annotations
 
+#: Interned encodings of the single-byte varints (0..127).  Most varints
+#: on the wire are tags, indices and short lengths, so the common case
+#: becomes one tuple lookup with no allocation.
+_SMALL_VARINTS = tuple(bytes([n]) for n in range(128))
+
 
 def encode_varint(value: int) -> bytes:
     """Encode a non-negative integer as unsigned LEB128."""
+    if 0 <= value < 128:
+        return _SMALL_VARINTS[value]
     if value < 0:
         raise ValueError("varints encode non-negative integers only")
     out = bytearray()
@@ -36,6 +43,42 @@ def encode_bytes(data: bytes) -> bytes:
 def encode_str(text: str) -> bytes:
     """Length-prefixed UTF-8 string."""
     return encode_bytes(text.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy writers
+# ---------------------------------------------------------------------------
+# Encoders on hot paths (trie proofs, IBC messages) assemble one shared
+# ``bytearray`` via these writers instead of concatenating per-field
+# ``bytes`` temporaries; the ``encode_*`` functions above remain for
+# call sites where an owned buffer is the point.
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append a LEB128 varint to ``out`` without intermediate objects."""
+    if 0 <= value < 128:
+        out.append(value)
+        return
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def write_bytes(out: bytearray, data: bytes) -> None:
+    """Append a length-prefixed byte string to ``out``."""
+    write_varint(out, len(data))
+    out += data
+
+
+def write_str(out: bytearray, text: str) -> None:
+    """Append a length-prefixed UTF-8 string to ``out``."""
+    write_bytes(out, text.encode("utf-8"))
 
 
 class Reader:

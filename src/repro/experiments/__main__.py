@@ -30,7 +30,8 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 #: of ``all``.
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
 _EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit",
-                  "chaos-soak", "chaos-smoke"}
+                  "chaos-soak", "chaos-smoke", "profile-soak",
+                  "wallclock-smoke"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,6 +58,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--audit-seeds", type=int, nargs="+",
                         default=[401, 402, 403],
                         help="seeds for the replay-audit target")
+    parser.add_argument("--profile-packets", type=int, default=2_000,
+                        help="soak scale for the profile-soak target")
+    parser.add_argument("--profile-sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="profile-soak stats sort key")
+    parser.add_argument("--profile-lines", type=int, default=30,
+                        help="profile-soak stats rows to print")
+    parser.add_argument("--wallclock-packets", type=int, default=1_500,
+                        help="soak scale for the wallclock-smoke target")
+    parser.add_argument("--wallclock-floor", type=float, default=500.0,
+                        help="events/sec of wall time the wallclock-smoke "
+                             "target asserts (generous: CI machines vary)")
     args = parser.parse_args(argv)
 
     targets = set(args.targets) or {"all"}
@@ -178,6 +191,52 @@ def main(argv: list[str] | None = None) -> int:
             print("\n\n".join(blocks))
             for failure in failures:
                 print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+            return 1
+
+    if "profile-soak" in targets:
+        from repro.experiments.profiling import (
+            SoakConfig, profile_soak, render_soak_result,
+        )
+
+        config = SoakConfig(packets=args.profile_packets)
+        print(f"Profiling the soak workload ({config.packets} packets)...",
+              file=sys.stderr)
+        result, table = profile_soak(
+            config, sort=args.profile_sort, lines=args.profile_lines)
+        blocks.append(render_soak_result(result, title="profile-soak"))
+        blocks.append(table.rstrip())
+
+    if "wallclock-smoke" in targets:
+        import json
+
+        from repro.experiments.profiling import (
+            SoakConfig, render_soak_result, run_soak,
+        )
+
+        config = SoakConfig(packets=args.wallclock_packets)
+        started = time.time()
+        print(f"Running the wall-clock smoke soak "
+              f"({config.packets} packets)...", file=sys.stderr)
+        result = run_soak(config)
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_soak_result(result, title="wallclock-smoke"))
+        payload = {
+            "packets": config.packets,
+            "floor_events_per_sec": args.wallclock_floor,
+            **result.to_json(),
+        }
+        with open("BENCH_wallclock_smoke.json", "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        if result.outstanding:
+            print("\n\n".join(blocks))
+            print(f"WALLCLOCK FAILURE: {result.outstanding} packets "
+                  f"never delivered", file=sys.stderr)
+            return 1
+        if result.events_per_sec < args.wallclock_floor:
+            print("\n\n".join(blocks))
+            print(f"WALLCLOCK FAILURE: {result.events_per_sec:.0f} events/s "
+                  f"wall is below the {args.wallclock_floor:.0f} floor",
+                  file=sys.stderr)
             return 1
 
     if "replay-audit" in targets:

@@ -49,11 +49,19 @@ class Address:
 
 @dataclass
 class Account:
-    """One host account: balance, data blob and owning program."""
+    """One host account: balance, data blob and owning program.
+
+    ``data`` is an *immutable* ``bytes`` value: programs replace the blob
+    wholesale rather than patching it in place.  That makes the rollback
+    snapshot a reference grab instead of a copy — materially so for the
+    guest's 10 MiB state account, whose per-transaction snapshot copy was
+    the second-largest cost in the soak wall-clock profile
+    (docs/PERFORMANCE.md).
+    """
 
     address: Address
     lamports: int = 0
-    data: bytearray = field(default_factory=bytearray)
+    data: bytes = b""
     owner: Optional[Address] = None
 
     @property
@@ -61,12 +69,12 @@ class Account:
         return len(self.data)
 
     def snapshot(self) -> tuple[int, bytes, Optional[Address]]:
-        """Copy-out used for transaction rollback."""
-        return (self.lamports, bytes(self.data), self.owner)
+        """Copy-out used for transaction rollback (O(1): data is
+        immutable, so the reference itself is the snapshot)."""
+        return (self.lamports, self.data, self.owner)
 
     def restore(self, snap: tuple[int, bytes, Optional[Address]]) -> None:
-        self.lamports, data, self.owner = snap[0], snap[1], snap[2]
-        self.data = bytearray(data)
+        self.lamports, self.data, self.owner = snap
 
 
 class AccountsDb:
@@ -127,7 +135,7 @@ class AccountsDb:
             raise HostError(f"account {address.short()} already allocated")
         deposit = rent_exempt_deposit(size)
         self.transfer(payer, address, deposit)
-        account.data = bytearray(size)
+        account.data = bytes(size)
         account.owner = owner
         return account
 
@@ -146,7 +154,7 @@ class AccountsDb:
         account = self.account(address)
         refund = account.lamports
         account.lamports = 0
-        account.data = bytearray()
+        account.data = b""
         account.owner = None
         self.credit(refund_to, refund)
         return refund

@@ -485,16 +485,19 @@ class HostChain:
             )
 
         # Runtime-level signature verification (the Ed25519 precompile).
-        verified: list[tuple] = []
-        for entry in transaction.sig_verifies:
-            if not self.scheme.verify(entry.public_key, entry.message, entry.signature):
-                return TxReceipt(
-                    tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
-                    success=False, fee_paid=fee, compute_consumed=0,
-                    error="precompile signature verification failed",
-                    bundle_id=pending.bundle_id,
-                )
-            verified.append((entry.public_key, entry.message))
+        # One batched call per transaction: like the real precompile, the
+        # whole list is checked up front and any failure rejects the tx,
+        # so batch all-or-nothing semantics match exactly.
+        if not self.scheme.verify_batch(
+            [(e.public_key, e.message, e.signature) for e in transaction.sig_verifies]
+        ):
+            return TxReceipt(
+                tx_id=transaction.tx_id, slot=self.slot, time=self.sim.now,
+                success=False, fee_paid=fee, compute_consumed=0,
+                error="precompile signature verification failed",
+                bundle_id=pending.bundle_id,
+            )
+        verified = [(e.public_key, e.message) for e in transaction.sig_verifies]
 
         meter = ComputeMeter(
             min(transaction.compute_budget or self.config.max_compute_units,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
+from repro.encoding import Reader, write_bytes, write_str, write_varint
 from repro.ibc.channel import ChannelOrder
 from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
 from repro.trie.proof import MembershipProof
@@ -100,20 +100,25 @@ _TAGS: list[type] = [
 
 
 def encode_handshake(msg: HandshakeMsg) -> bytes:
-    """Tag + field-by-field canonical encoding."""
-    out = bytearray(encode_varint(_TAGS.index(type(msg))))
+    """Tag + field-by-field canonical encoding.
+
+    Built into one shared ``bytearray`` (the proof field dominates the
+    payload; everything else appends in place without temporaries).
+    """
+    out = bytearray()
+    write_varint(out, _TAGS.index(type(msg)))
     for name, value in vars(msg).items():
         del name
         if isinstance(value, MembershipProof):
-            out += encode_bytes(value.to_bytes())
+            write_bytes(out, value.to_bytes())
         elif isinstance(value, ChannelOrder):
-            out += encode_varint(int(value))
+            write_varint(out, int(value))
         elif isinstance(value, bytes):
-            out += encode_bytes(value)
+            write_bytes(out, value)
         elif isinstance(value, str):
-            out += encode_str(value)
+            write_str(out, value)
         elif isinstance(value, int):
-            out += encode_varint(value)
+            write_varint(out, value)
         else:
             raise TypeError(f"unencodable handshake field {value!r}")
     return bytes(out)

@@ -111,12 +111,23 @@ class GuestLightClient(LightClient):
             raise ClientError("header's epoch hash does not match the validator set")
 
         message = header.sign_message()
-        valid_signers: set[PublicKey] = set()
-        for public_key, signature in update.signatures.items():
-            if not epoch.is_validator(public_key):
-                continue  # ignore non-validators, as the contract does
-            if self.scheme.verify(public_key, message, signature):
-                valid_signers.add(public_key)
+        members = [
+            (public_key, signature)
+            for public_key, signature in update.signatures.items()
+            if epoch.is_validator(public_key)  # ignore non-validators, as the contract does
+        ]
+        # Batch-verify the quorum in one pass; fall back to filtering out
+        # individually bad signatures only if the batch fails (rare).
+        if self.scheme.verify_batch(
+            [(public_key, message, signature) for public_key, signature in members]
+        ):
+            valid_signers: set[PublicKey] = {public_key for public_key, _ in members}
+        else:
+            valid_signers = {
+                public_key
+                for public_key, signature in members
+                if self.scheme.verify(public_key, message, signature)
+            }
         if not epoch.has_quorum(valid_signers):
             raise ClientError(
                 f"signatures cover {epoch.signed_stake(valid_signers)} stake; "

@@ -34,11 +34,23 @@ class ValidatorSet:
     def total_power(self) -> int:
         return sum(power for _, power in self.members)
 
+    def power_map(self) -> dict[PublicKey, int]:
+        """``public key -> voting power``, built once per set.
+
+        Quorum checks look up every signer's power on every update;
+        the linear ``power_of`` scan made each update O(signers x
+        members).  Cached on the instance (the set is frozen, so the
+        map can never go stale); equality and serialisation still use
+        only ``members``.
+        """
+        cached = self.__dict__.get("_power_map")
+        if cached is None:
+            cached = dict(self.members)
+            object.__setattr__(self, "_power_map", cached)
+        return cached
+
     def power_of(self, public_key: PublicKey) -> int:
-        for member, power in self.members:
-            if member == public_key:
-                return power
-        return 0
+        return self.power_map().get(public_key, 0)
 
     def canonical_hash(self) -> Hash:
         parts: list[bytes] = [b"valset"]
@@ -278,13 +290,31 @@ class TendermintLightClient(LightClient):
         self._known_valsets[header.validators_hash] = valset
 
     def update(self, update: LightClientUpdate, scheme: SignatureScheme) -> None:
-        """Full verification: check every commit signature directly."""
+        """Full verification: check every commit signature directly.
+
+        The common case — every member signature in the commit is valid —
+        verifies the whole quorum in one :meth:`~repro.crypto.keys.
+        SignatureScheme.verify_batch` call.  Only when the batch fails
+        does the client fall back to per-signature filtering, preserving
+        the original semantics (individually bad signatures are dropped,
+        not fatal; the quorum thresholds decide the outcome).
+        """
         valset = self.resolve_validator_set(update)
         sign_bytes = update.header.sign_bytes()
-        signers = {
-            public_key
+        powers = valset.power_map()
+        members = [
+            (public_key, signature)
             for public_key, signature in update.commit.signatures
-            if valset.power_of(public_key) > 0
-            and scheme.verify(public_key, sign_bytes, signature)
-        }
+            if powers.get(public_key, 0) > 0
+        ]
+        if scheme.verify_batch(
+            [(public_key, sign_bytes, signature) for public_key, signature in members]
+        ):
+            signers = {public_key for public_key, _ in members}
+        else:
+            signers = {
+                public_key
+                for public_key, signature in members
+                if scheme.verify(public_key, sign_bytes, signature)
+            }
         self.apply_verified(update.header, signers, valset)

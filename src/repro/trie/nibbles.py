@@ -8,16 +8,26 @@ slice.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 Nibbles = tuple[int, ...]
 
+#: Per-byte nibble pairs, so key expansion is one table lookup per byte
+#: instead of two shifts/masks (keys are hashed to 32 bytes, and every
+#: trie read, write, seal and proof expands one).
+_BYTE_NIBBLES = tuple((b >> 4, b & 0x0F) for b in range(256))
 
+
+@lru_cache(maxsize=65_536)
 def key_to_nibbles(key: bytes) -> Nibbles:
-    """Expand a byte string into its nibble path (high nibble first)."""
-    path = []
-    for byte in key:
-        path.append(byte >> 4)
-        path.append(byte & 0x0F)
-    return tuple(path)
+    """Expand a byte string into its nibble path (high nibble first).
+
+    Interned: provable stores hash every key to a fixed 32 bytes and the
+    relayer touches the same commitment keys many times per packet
+    (write, prove, ack, seal), so the expansion is memoized.
+    """
+    pairs = _BYTE_NIBBLES
+    return tuple(nibble for byte in key for nibble in pairs[byte])
 
 
 def nibbles_to_key(path: Nibbles) -> bytes:
@@ -39,16 +49,30 @@ def common_prefix_len(a: Nibbles, b: Nibbles) -> int:
     return n
 
 
+@lru_cache(maxsize=65_536)
 def encode_nibbles(path: Nibbles) -> bytes:
     """Canonical byte encoding of a nibble path (for hashing/wire).
 
     One header byte carries the parity; nibbles are then packed two per
     byte with a zero pad when odd.  The parity byte keeps e.g. ``(1,)``
     and ``(1, 0)`` distinct.
+
+    Interned: node rebuilds along a mutated path re-encode the same
+    (immutable) path tuples on every hash, and the pool of distinct
+    paths in a trie is small relative to how often each is encoded.
     """
     header = bytes([len(path) % 2])
     padded = path if len(path) % 2 == 0 else path + (0,)
     return header + nibbles_to_key(padded)
+
+
+def encoded_nibbles_len(path: Nibbles) -> int:
+    """``len(encode_nibbles(path))`` without building the bytes.
+
+    Storage accounting needs only the length; the header byte plus two
+    nibbles per byte (odd paths pad) gives ``1 + (n + 1) // 2``.
+    """
+    return 1 + (len(path) + 1) // 2
 
 
 def decode_nibbles(data: bytes) -> Nibbles:

@@ -15,7 +15,11 @@ sealing extension:
 
 Hashes are computed lazily and cached; mutation happens by rebuilding the
 nodes along the touched path (the trie object owns that logic), so a cache
-never goes stale.
+never goes stale.  The same dirty-path discipline carries the *aggregate*
+caches: every node memoizes its subtree's ``(storage bytes, live nodes,
+sealed stubs)`` totals, so the per-execution state-budget check reads one
+cached tuple at the root instead of walking the whole trie — the walk
+that used to dominate the soak profile (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.crypto.hashing import Hash, hash_concat
-from repro.trie.nibbles import Nibbles, encode_nibbles
+from repro.trie.nibbles import Nibbles, encode_nibbles, encoded_nibbles_len
 
 _TAG_LEAF = b"\x00"
 _TAG_EXTENSION = b"\x01"
@@ -35,6 +39,8 @@ NODE_OVERHEAD_BYTES = 8
 HASH_BYTES = 32
 
 Node = Union["LeafNode", "ExtensionNode", "BranchNode", "SealedNode"]
+
+_ZERO = Hash.zero()
 
 
 class LeafNode:
@@ -53,7 +59,11 @@ class LeafNode:
         return self._hash
 
     def storage_bytes(self) -> int:
-        return NODE_OVERHEAD_BYTES + len(encode_nibbles(self.path)) + len(self.value)
+        return NODE_OVERHEAD_BYTES + encoded_nibbles_len(self.path) + len(self.value)
+
+    def aggregates(self) -> tuple[int, int, int]:
+        """Subtree totals ``(storage_bytes, live_nodes, sealed_stubs)``."""
+        return (self.storage_bytes(), 1, 0)
 
     def __repr__(self) -> str:
         return f"Leaf(path={self.path}, value={self.value[:8]!r})"
@@ -62,7 +72,7 @@ class LeafNode:
 class ExtensionNode:
     """A path-compression node: ``path`` then ``child``."""
 
-    __slots__ = ("path", "child", "_hash")
+    __slots__ = ("path", "child", "_hash", "_agg")
 
     def __init__(self, path: Nibbles, child: Node) -> None:
         if not path:
@@ -70,6 +80,7 @@ class ExtensionNode:
         self.path = path
         self.child = child
         self._hash: Optional[Hash] = None
+        self._agg: Optional[tuple[int, int, int]] = None
 
     def hash(self) -> Hash:
         if self._hash is None:
@@ -77,7 +88,13 @@ class ExtensionNode:
         return self._hash
 
     def storage_bytes(self) -> int:
-        return NODE_OVERHEAD_BYTES + len(encode_nibbles(self.path)) + HASH_BYTES
+        return NODE_OVERHEAD_BYTES + encoded_nibbles_len(self.path) + HASH_BYTES
+
+    def aggregates(self) -> tuple[int, int, int]:
+        if self._agg is None:
+            storage, live, sealed = self.child.aggregates()
+            self._agg = (self.storage_bytes() + storage, 1 + live, sealed)
+        return self._agg
 
     def __repr__(self) -> str:
         return f"Extension(path={self.path})"
@@ -86,7 +103,7 @@ class ExtensionNode:
 class BranchNode:
     """A 16-way fan-out with an optional value terminating at the branch."""
 
-    __slots__ = ("children", "value", "_hash", "_child_hashes")
+    __slots__ = ("children", "value", "_hash", "_child_hashes", "_agg")
 
     def __init__(self, children: Optional[list[Optional[Node]]] = None, value: Optional[bytes] = None) -> None:
         self.children: list[Optional[Node]] = children if children is not None else [None] * 16
@@ -94,7 +111,39 @@ class BranchNode:
             raise ValueError("branch must have exactly 16 child slots")
         self.value = value
         self._hash: Optional[Hash] = None
-        self._child_hashes: Optional[tuple[Hash, ...]] = None
+        #: Either the final cached tuple or a partially valid list with
+        #: ``None`` holes (dirty slots from :meth:`replacing_child`).
+        self._child_hashes: Optional[tuple[Hash, ...] | list[Optional[Hash]]] = None
+        self._agg: Optional[tuple[int, int, int]] = None
+
+    def replacing_child(self, index: int, child: Optional[Node]) -> "BranchNode":
+        """A copy of this branch with one child slot replaced.
+
+        This is the incremental-rehash path: the fifteen untouched
+        sibling hashes are carried over from this node's cache (when
+        warm) and only the dirty slot is recomputed — lazily, so a burst
+        of writes to one subtree does not rehash intermediate states.
+        """
+        children = list(self.children)
+        children[index] = child
+        node = BranchNode(children, self.value)
+        cached = self._child_hashes
+        if cached is not None:
+            patched: list[Optional[Hash]] = list(cached)
+            patched[index] = None
+            node._child_hashes = patched
+        return node
+
+    def replacing_value(self, value: Optional[bytes]) -> "BranchNode":
+        """A copy with only the branch value changed.
+
+        The children are untouched, so the child-hash cache transfers
+        wholesale (the holes of a partially valid cache, if any, are
+        filled lazily by :meth:`child_hashes`).
+        """
+        node = BranchNode(list(self.children), value)
+        node._child_hashes = self._child_hashes
+        return node
 
     def child_hashes(self) -> tuple[Hash, ...]:
         """All 16 child hashes (zero hash for empty slots), cached.
@@ -104,12 +153,23 @@ class BranchNode:
         over.  Safe to cache because mutation rebuilds the nodes along
         the touched path rather than editing them in place.
         """
-        if self._child_hashes is None:
-            self._child_hashes = tuple(
-                child.hash() if child is not None else Hash.zero()
+        cached = self._child_hashes
+        if type(cached) is tuple:
+            return cached
+        if cached is None:
+            hashes = tuple(
+                child.hash() if child is not None else _ZERO
                 for child in self.children
             )
-        return self._child_hashes
+        else:  # partially valid list: fill the dirty holes
+            children = self.children
+            hashes = tuple(
+                existing if existing is not None
+                else (children[i].hash() if children[i] is not None else _ZERO)
+                for i, existing in enumerate(cached)
+            )
+        self._child_hashes = hashes
+        return hashes
 
     def hash(self) -> Hash:
         if self._hash is None:
@@ -139,6 +199,20 @@ class BranchNode:
         return (NODE_OVERHEAD_BYTES + bitmap_bytes
                 + self.child_count() * HASH_BYTES + value_bytes)
 
+    def aggregates(self) -> tuple[int, int, int]:
+        if self._agg is None:
+            storage = self.storage_bytes()
+            live = 1
+            sealed = 0
+            for child in self.children:
+                if child is not None:
+                    c_storage, c_live, c_sealed = child.aggregates()
+                    storage += c_storage
+                    live += c_live
+                    sealed += c_sealed
+            self._agg = (storage, live, sealed)
+        return self._agg
+
     def __repr__(self) -> str:
         slots = "".join("x" if c is not None else "." for c in self.children)
         return f"Branch([{slots}], value={'yes' if self.value is not None else 'no'})"
@@ -155,6 +229,8 @@ class SealedNode:
 
     __slots__ = ("_hash",)
 
+    _AGG = (0, 0, 1)
+
     def __init__(self, node_hash: Hash) -> None:
         self._hash = node_hash
 
@@ -165,6 +241,9 @@ class SealedNode:
         # The hash lives in the parent either way; a sealed stub occupies
         # no extra storage in the on-chain layout.
         return 0
+
+    def aggregates(self) -> tuple[int, int, int]:
+        return self._AGG
 
     def __repr__(self) -> str:
         return f"Sealed({self._hash.short()}…)"

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.crypto.hashing import Hash, hash_concat
-from repro.encoding import Reader, encode_bytes, encode_varint
+from repro.encoding import Reader, write_bytes, write_varint
 from repro.errors import ProofError
 from repro.trie.nibbles import (
     Nibbles,
@@ -180,13 +180,15 @@ class MembershipProof:
     leaf_path: Nibbles
 
     def to_bytes(self) -> bytes:
+        # One shared builder end to end: proofs are serialized per packet
+        # delivery, so avoiding per-field temporaries matters (§V-A).
         out = bytearray()
-        out += encode_bytes(self.key)
-        out += encode_bytes(self.value)
-        out += encode_bytes(encode_nibbles(self.leaf_path))
-        out += encode_varint(len(self.steps))
+        write_bytes(out, self.key)
+        write_bytes(out, self.value)
+        write_bytes(out, encode_nibbles(self.leaf_path))
+        write_varint(out, len(self.steps))
         for step in self.steps:
-            out += _encode_step(step)
+            _write_step(out, step)
         return bytes(out)
 
     @classmethod
@@ -210,11 +212,11 @@ class NonMembershipProof:
 
     def to_bytes(self) -> bytes:
         out = bytearray()
-        out += encode_bytes(self.key)
-        out += encode_varint(len(self.steps))
+        write_bytes(out, self.key)
+        write_varint(out, len(self.steps))
         for step in self.steps:
-            out += _encode_step(step)
-        out += _encode_evidence(self.evidence)
+            _write_step(out, step)
+        _write_evidence(out, self.evidence)
         return bytes(out)
 
     @classmethod
@@ -241,10 +243,12 @@ _EV_DIVERGENT_LEAF = 3
 _EV_DIVERGENT_EXTENSION = 4
 
 
-def _encode_optional_value(value: Optional[bytes]) -> bytes:
+def _write_optional_value(out: bytearray, value: Optional[bytes]) -> None:
     if value is None:
-        return encode_varint(0)
-    return encode_varint(1) + encode_bytes(value)
+        write_varint(out, 0)
+    else:
+        write_varint(out, 1)
+        write_bytes(out, value)
 
 
 def _decode_optional_value(reader: Reader) -> Optional[bytes]:
@@ -253,7 +257,7 @@ def _decode_optional_value(reader: Reader) -> Optional[bytes]:
     return None
 
 
-def _encode_hash_set(hashes: tuple[Hash, ...]) -> bytes:
+def _write_hash_set(out: bytearray, hashes: tuple[Hash, ...]) -> None:
     """Occupancy bitmap + only the non-zero hashes.
 
     Branches in a hashed-key trie are mostly sparse, so writing all slots
@@ -264,15 +268,13 @@ def _encode_hash_set(hashes: tuple[Hash, ...]) -> bytes:
     """
     zero = Hash.zero()
     bitmap = 0
-    out = bytearray()
     for i, value in enumerate(hashes):
         if value != zero:
             bitmap |= 1 << i
-    head = bitmap.to_bytes(2, "big")
+    out += bitmap.to_bytes(2, "big")
     for i, value in enumerate(hashes):
         if bitmap >> i & 1:
-            out += bytes(value)
-    return head + bytes(out)
+            out += value.value
 
 
 def _decode_hash_set(reader: Reader, count: int) -> tuple[Hash, ...]:
@@ -286,14 +288,15 @@ def _decode_hash_set(reader: Reader, count: int) -> tuple[Hash, ...]:
     )
 
 
-def _encode_step(step: Step) -> bytes:
+def _write_step(out: bytearray, step: Step) -> None:
     if isinstance(step, ExtensionStep):
-        return encode_varint(_STEP_EXTENSION) + encode_bytes(encode_nibbles(step.path))
-    out = bytearray(encode_varint(_STEP_BRANCH))
-    out += encode_varint(step.index)
-    out += _encode_hash_set(step.siblings)
-    out += _encode_optional_value(step.value)
-    return bytes(out)
+        write_varint(out, _STEP_EXTENSION)
+        write_bytes(out, encode_nibbles(step.path))
+        return
+    write_varint(out, _STEP_BRANCH)
+    write_varint(out, step.index)
+    _write_hash_set(out, step.siblings)
+    _write_optional_value(out, step.value)
 
 
 def _decode_step(reader: Reader) -> Step:
@@ -308,30 +311,29 @@ def _decode_step(reader: Reader) -> Step:
     raise ValueError(f"unknown proof step tag {kind}")
 
 
-def _encode_evidence(evidence: Evidence) -> bytes:
+def _write_evidence(out: bytearray, evidence: Evidence) -> None:
     if isinstance(evidence, EmptyTrieEvidence):
-        return encode_varint(_EV_EMPTY_TRIE)
+        write_varint(out, _EV_EMPTY_TRIE)
+        return
     if isinstance(evidence, EmptySlotEvidence):
-        out = bytearray(encode_varint(_EV_EMPTY_SLOT))
-        out += _encode_hash_set(evidence.children)
-        out += _encode_optional_value(evidence.value)
-        return bytes(out)
+        write_varint(out, _EV_EMPTY_SLOT)
+        _write_hash_set(out, evidence.children)
+        _write_optional_value(out, evidence.value)
+        return
     if isinstance(evidence, NoBranchValueEvidence):
-        out = bytearray(encode_varint(_EV_NO_BRANCH_VALUE))
-        out += _encode_hash_set(evidence.children)
-        return bytes(out)
+        write_varint(out, _EV_NO_BRANCH_VALUE)
+        _write_hash_set(out, evidence.children)
+        return
     if isinstance(evidence, DivergentLeafEvidence):
-        return (
-            encode_varint(_EV_DIVERGENT_LEAF)
-            + encode_bytes(encode_nibbles(evidence.path))
-            + encode_bytes(evidence.value)
-        )
+        write_varint(out, _EV_DIVERGENT_LEAF)
+        write_bytes(out, encode_nibbles(evidence.path))
+        write_bytes(out, evidence.value)
+        return
     if isinstance(evidence, DivergentExtensionEvidence):
-        return (
-            encode_varint(_EV_DIVERGENT_EXTENSION)
-            + encode_bytes(encode_nibbles(evidence.path))
-            + bytes(evidence.child)
-        )
+        write_varint(out, _EV_DIVERGENT_EXTENSION)
+        write_bytes(out, encode_nibbles(evidence.path))
+        out += evidence.child.value
+        return
     raise ValueError(f"unknown evidence type {type(evidence)!r}")
 
 

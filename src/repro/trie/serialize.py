@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.crypto.hashing import Hash
-from repro.encoding import Reader, encode_bytes
+from repro.encoding import Reader, write_bytes
 from repro.errors import TrieError
 from repro.trie.nibbles import decode_nibbles, encode_nibbles
 from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, Node, SealedNode
@@ -85,11 +85,11 @@ def load_store(data: bytes):
 def _write_node(out: bytearray, node: Node) -> None:
     if isinstance(node, LeafNode):
         out.append(_LEAF)
-        out += encode_bytes(encode_nibbles(node.path))
-        out += encode_bytes(node.value)
+        write_bytes(out, encode_nibbles(node.path))
+        write_bytes(out, node.value)
     elif isinstance(node, ExtensionNode):
         out.append(_EXTENSION)
-        out += encode_bytes(encode_nibbles(node.path))
+        write_bytes(out, encode_nibbles(node.path))
         _write_node(out, node.child)
     elif isinstance(node, BranchNode):
         out.append(_BRANCH)
@@ -100,7 +100,7 @@ def _write_node(out: bytearray, node: Node) -> None:
         out += bitmap.to_bytes(2, "big")
         if node.value is not None:
             out.append(1)
-            out += encode_bytes(node.value)
+            write_bytes(out, node.value)
         else:
             out.append(0)
         for child in node.children:

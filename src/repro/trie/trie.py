@@ -160,12 +160,13 @@ class SealableTrie:
                 return ExtensionNode(node.path, child)
             return self._split_extension(node, prefix, path, value)
 
-        # BranchNode
+        # BranchNode — rebuild via replacing_child/replacing_value so the
+        # untouched sibling hashes carry over (incremental rehash).
         if not path:
-            return BranchNode(list(node.children), value)
-        children = list(node.children)
-        children[path[0]] = self._set(children[path[0]], path[1:], value)
-        return BranchNode(children, node.value)
+            return node.replacing_value(value)
+        return node.replacing_child(
+            path[0], self._set(node.children[path[0]], path[1:], value)
+        )
 
     def _split_leaf(self, leaf: LeafNode, path: Nibbles, value: bytes) -> Node:
         """Split a leaf whose path diverges from the inserted key."""
@@ -239,12 +240,9 @@ class SealableTrie:
         if not path:
             if node.value is None:
                 raise KeyNotFoundError(f"key {key.hex()} not in trie")
-            return self._collapse_branch(list(node.children), None)
-        child = node.children[path[0]]
-        new_child = self._delete(child, path[1:], key)
-        children = list(node.children)
-        children[path[0]] = new_child
-        return self._collapse_branch(children, node.value)
+            return self._collapse_branch(node.replacing_value(None))
+        new_child = self._delete(node.children[path[0]], path[1:], key)
+        return self._collapse_branch(node.replacing_child(path[0], new_child))
 
     def _merge_extension(self, path: Nibbles, child: Node) -> Node:
         """Normalize an extension so no extension points at a leaf or
@@ -255,13 +253,18 @@ class SealableTrie:
             return ExtensionNode(path + child.path, child.child)
         return ExtensionNode(path, child)
 
-    def _collapse_branch(self, children: list[Optional[Node]], value: Optional[bytes]) -> Optional[Node]:
-        """Collapse a branch left with at most one occupant after delete."""
+    def _collapse_branch(self, branch: BranchNode) -> Optional[Node]:
+        """Collapse a branch left with at most one occupant after delete.
+
+        Takes (and may return) the already-rebuilt branch so its carried
+        child-hash cache survives when no collapse applies.
+        """
+        children = branch.children
         occupied = [i for i, child in enumerate(children) if child is not None]
-        if value is not None:
+        if branch.value is not None:
             if not occupied:
-                return LeafNode((), value)
-            return BranchNode(children, value)
+                return LeafNode((), branch.value)
+            return branch
         if not occupied:
             return None
         if len(occupied) == 1:
@@ -271,9 +274,9 @@ class SealableTrie:
             if isinstance(only, SealedNode):
                 # Cannot merge into a sealed child (its hash is fixed);
                 # keep the branch as-is to preserve commitments.
-                return BranchNode(children, None)
+                return branch
             return self._merge_extension((index,), only)
-        return BranchNode(children, None)
+        return branch
 
     # ------------------------------------------------------------------
     # Sealing (the paper's contribution)
@@ -319,11 +322,8 @@ class SealableTrie:
                 "cannot seal a value stored at a branch; provable stores "
                 "hash keys to fixed length so values terminate at leaves"
             )
-        child = node.children[path[0]]
-        sealed_child = self._seal(child, path[1:], key)
-        children = list(node.children)
-        children[path[0]] = sealed_child
-        branch = BranchNode(children, node.value)
+        sealed_child = self._seal(node.children[path[0]], path[1:], key)
+        branch = node.replacing_child(path[0], sealed_child)
         if branch.value is None and branch.live_child_count() == 0:
             return SealedNode(branch.hash())
         return branch
@@ -470,26 +470,28 @@ class SealableTrie:
     # ------------------------------------------------------------------
 
     def node_count(self) -> int:
-        """Number of live (unsealed) nodes in storage."""
-        return sum(1 for _ in self._iter_live_nodes())
+        """Number of live (unsealed) nodes in storage.
+
+        O(1) for a clean trie: reads the root's cached subtree aggregate
+        (O(dirty path) right after a mutation).  The state-budget check
+        runs this on every contract execution, so the full-trie walk it
+        replaced dominated the soak wall-clock profile.
+        """
+        if self._root is None:
+            return 0
+        return self._root.aggregates()[1]
 
     def sealed_count(self) -> int:
         """Number of sealed stubs currently embedded in live parents."""
-        count = 0
-        stack = [self._root] if self._root is not None else []
-        while stack:
-            node = stack.pop()
-            if isinstance(node, SealedNode):
-                count += 1
-            elif isinstance(node, ExtensionNode):
-                stack.append(node.child)
-            elif isinstance(node, BranchNode):
-                stack.extend(child for child in node.children if child is not None)
-        return count
+        if self._root is None:
+            return 0
+        return self._root.aggregates()[2]
 
     def storage_bytes(self) -> int:
         """Bytes of live node storage, per the accounted on-chain layout."""
-        return sum(node.storage_bytes() for node in self._iter_live_nodes())
+        if self._root is None:
+            return 0
+        return self._root.aggregates()[0]
 
     def _iter_live_nodes(self) -> Iterator[Node]:
         stack = [self._root] if self._root is not None else []

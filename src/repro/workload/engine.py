@@ -19,17 +19,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.metrics.stats import percentile
 from repro.units import lamports_to_usd
 from repro.workload.generators import ClosedLoopMarker, make_arrivals
-
-
-def percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
 
 
 @dataclass
@@ -216,6 +208,16 @@ class WorkloadEngine:
         else:
             sustained = 0.0
             fee_per_packet = 0.0
+        # Sort once, reuse for every percentile.  The library-wide
+        # linear-interpolated percentile (repro.metrics.stats) replaced
+        # the engine's old nearest-rank copy, so reported p50/p95/p99
+        # shift by a fraction of a sample interval relative to earlier
+        # result files; it raises on empty input, hence the guard.
+        ordered = sorted(self.latencies)
+        if ordered:
+            p50, p95, p99 = (percentile(ordered, f) for f in (0.50, 0.95, 0.99))
+        else:
+            p50 = p95 = p99 = 0.0
         return WorkloadReport(
             mode=self.spec.mode,
             offered_pps=self.spec.offered_pps,
@@ -225,9 +227,9 @@ class WorkloadEngine:
             delivered=self.delivered,
             send_failures=self.send_failures,
             sustained_pps=sustained,
-            latency_p50=percentile(self.latencies, 0.50),
-            latency_p95=percentile(self.latencies, 0.95),
-            latency_p99=percentile(self.latencies, 0.99),
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
             relayer_fee_lamports=fees,
             relayer_txs=txs,
             fee_lamports_per_packet=fee_per_packet,

@@ -148,7 +148,7 @@ class TestRegistry:
     def test_repro_closures_and_methods_pass(self):
         deployment = Deployment(small_config())
         assert validation_errors(
-            handle.callback for _, _, handle in deployment.sim._queue
+            handle.callback for _, handle in deployment.sim.iter_pending()
         ) == []
 
     def test_builtin_container_method_passes(self):

@@ -54,9 +54,9 @@ class CounterProgram(Program):
         if data == b"burn":
             ctx.meter.charge(10_000_000)
         account = ctx.account(ctx.instruction_accounts[0])
-        if not account.data:
-            account.data = bytearray(8)
-        account.data[0] += 1
+        # Account data is immutable bytes: programs replace the blob.
+        current = account.data if account.data else bytes(8)
+        account.data = bytes([current[0] + 1]) + current[1:]
         ctx.emit("Counted", value=account.data[0])
 
 
@@ -210,7 +210,7 @@ class TestSigVerifyPrecompile:
         chain.submit(tx, on_result=results.append)
         sim.run_until(30.0)
         assert not results[0].success
-        assert chain.accounts.account(state).data == bytearray()
+        assert chain.accounts.account(state).data == b""
 
     def test_each_verify_costs_a_signature_fee(self, env):
         """§V-B: 0.1 ¢ per transaction plus 0.1 ¢ per verified signature."""
@@ -281,7 +281,7 @@ class TestFees:
         sim.run_until(30.0)
         (receipts,) = results
         assert not any(r.success for r in receipts)
-        assert chain.accounts.account(state).data == bytearray()
+        assert chain.accounts.account(state).data == b""
 
     def test_empty_bundle_rejected(self, env):
         sim, chain, program, state = env
@@ -455,7 +455,7 @@ class CreatorProgram(Program):
 
     def execute(self, ctx: InvokeContext, data: bytes) -> None:
         account = ctx.account(ctx.instruction_accounts[0])
-        account.data = bytearray(b"created!")
+        account.data = b"created!"
         if data == b"fail":
             raise ProgramError("told to fail after creating")
 

@@ -93,6 +93,37 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_run_draining_in_exactly_max_events_is_not_a_runaway(self):
+        """Regression: ``run(max_events=N)`` used to raise even when the
+        N-th step emptied the queue — the guard fired before checking
+        whether anything was actually left."""
+        sim = Simulation(seed=1)
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.pending_events() == 0
+
+    def test_run_raises_when_events_remain_past_the_budget(self):
+        sim = Simulation(seed=1)
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+
+    def test_run_budget_boundary_ignores_cancelled_leftovers(self):
+        """Tombstones left in the queue after the last step must not
+        trip the runaway guard — only live events count."""
+        sim = Simulation(seed=1)
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        doomed = sim.schedule(2.0, fired.append, "b")
+        doomed.cancel()
+        sim.run(max_events=1)
+        assert fired == ["a"]
+        assert sim.pending_events() == 0
+
 
 class TestCancellationEdgeCases:
     def test_cancel_head_of_queue_event(self):

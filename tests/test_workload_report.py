@@ -1,0 +1,71 @@
+"""Unit tests for :meth:`WorkloadEngine.report` percentile handling.
+
+Regression coverage for two hot-path fixes: the engine's private
+nearest-rank percentile copy was deleted in favour of the library-wide
+linear-interpolated :func:`repro.metrics.stats.percentile` (the two
+silently disagreed between samples), and ``report()`` now sorts the
+latency list once instead of once per percentile.  The tests drive
+``report()`` directly on a skeleton engine — the percentile path needs
+no deployment underneath it.
+"""
+
+from types import SimpleNamespace
+
+from repro.metrics import stats
+from repro.workload import WorkloadEngine, WorkloadSpec
+from repro.workload import engine as engine_module
+
+
+def make_engine(latencies, delivered=None):
+    """A bare engine with just the state ``report()`` reads."""
+    engine = WorkloadEngine.__new__(WorkloadEngine)
+    engine.dep = SimpleNamespace(relayer=SimpleNamespace(
+        ledger=SimpleNamespace(by_category={"relay": 700}, transactions={"relay": 7}),
+    ))
+    engine.spec = WorkloadSpec()
+    engine.latencies = list(latencies)
+    engine.sent = engine.committed = len(latencies)
+    engine.delivered = len(latencies) if delivered is None else delivered
+    engine.send_failures = 0
+    engine._started_at = 0.0
+    engine._last_delivery_at = float(len(latencies))
+    engine._fee_baseline = 0
+    engine._tx_baseline = 0
+    return engine
+
+
+def test_engine_uses_the_library_percentile():
+    """One percentile convention repo-wide: the engine's old
+    nearest-rank copy is gone and the stats one is imported instead."""
+    assert engine_module.percentile is stats.percentile
+
+
+def test_report_percentiles_are_linear_interpolated():
+    # Unsorted on purpose: report() must sort before interpolating.
+    # Nearest-rank would return an element of the list (2.0 or 3.0);
+    # linear interpolation lands exactly between.
+    report = make_engine([4.0, 1.0, 3.0, 2.0]).report()
+    assert report.latency_p50 == stats.percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.5
+    assert report.latency_p95 == stats.percentile([1.0, 2.0, 3.0, 4.0], 0.95)
+    assert report.latency_p99 == stats.percentile([1.0, 2.0, 3.0, 4.0], 0.99)
+    assert report.latency_p50 <= report.latency_p95 <= report.latency_p99
+
+
+def test_report_does_not_mutate_the_latency_list():
+    engine = make_engine([4.0, 1.0, 3.0, 2.0])
+    engine.report()
+    assert engine.latencies == [4.0, 1.0, 3.0, 2.0]
+
+
+def test_report_with_no_deliveries_zeroes_percentiles():
+    """stats.percentile raises on empty input; report() must guard and
+    return zeros rather than blow up on an all-lost run."""
+    report = make_engine([]).report()
+    assert report.latency_p50 == report.latency_p95 == report.latency_p99 == 0.0
+    assert report.sustained_pps == 0.0
+    assert report.fee_lamports_per_packet == 0.0
+
+
+def test_report_single_sample():
+    report = make_engine([7.0]).report()
+    assert report.latency_p50 == report.latency_p99 == 7.0
