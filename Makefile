@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint bench figures examples cluster-smoke chaos-smoke \
-	wallclock-smoke profile-soak all
+	wallclock-smoke profile-soak fabric-smoke all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -40,6 +40,12 @@ chaos-smoke:
 # floor (docs/PERFORMANCE.md).  Writes BENCH_wallclock_smoke.json.
 wallclock-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments wallclock-smoke
+
+# Scaled multi-guest fabric sweep: 1/2-guest star partitioning plus the
+# 2-hop routed transfer, with schema and conservation checks
+# (docs/FABRIC.md).  Writes BENCH_topology_smoke.json.
+fabric-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments topology-smoke
 
 # cProfile the soak workload and print the top of the profile.
 profile-soak:

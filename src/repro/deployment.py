@@ -63,6 +63,123 @@ class DeploymentConfig:
     tracing: bool = False
 
 
+@dataclass
+class ProvisionedGuest:
+    """One guest contract with its operational cohort, ready to link."""
+
+    contract: GuestContract
+    deployer: Address
+    validators: list[ValidatorNode]
+    cranker: Cranker
+    cranker_payer: Address
+    genesis_bonded: int
+
+
+def provision_guest(sim: Simulation, host: HostChain, scheme: SignatureScheme,
+                    guest_config: GuestConfig, counterparty_chain_id: str,
+                    profiles: list[ValidatorProfile], run_duration: float,
+                    *, namespace: str = "guest", label_prefix: str = "",
+                    cranker_poll_seconds: float = 2.0,
+                    key_salt: int = 0) -> ProvisionedGuest:
+    """Deploy one guest contract and everything that keeps it alive.
+
+    The per-guest half of what ``Deployment.__init__`` used to inline:
+    the contract with its 10 MiB state account (§V-D's deposit), the
+    validator cohort (genesis joiners bonded, late joiners staking
+    mid-run), genesis, and a cranker.  The topology builder calls this
+    once per guest with a distinct ``namespace``/``label_prefix`` so
+    accounts, fees and validator keys never collide across guests; the
+    legacy single-guest path uses the defaults, which reproduce the
+    original addresses and key seeds byte for byte.
+    """
+    contract = GuestContract(guest_config, counterparty_chain_id,
+                             namespace=namespace)
+    host.deploy(contract)
+
+    deployer = Address.derive(f"{label_prefix}deployer")
+    host.airdrop(deployer, sol_to_lamports(10_000.0))
+    host.accounts.allocate(
+        deployer, contract.state_account,
+        guest_config.state_account_bytes, contract.program_id,
+    )
+
+    validators: list[ValidatorNode] = []
+    genesis_bonded = 0
+    for profile in profiles:
+        payer = Address.derive(f"{label_prefix}validator-payer-{profile.index}")
+        host.airdrop(payer, sol_to_lamports(100.0))
+        keypair = scheme.keypair_from_seed(
+            bytes([1]) + profile.index.to_bytes(4, "big")
+            + key_salt.to_bytes(4, "big") + bytes(23)
+        )
+        api = GuestApi(host, contract, payer)
+        node = ValidatorNode(
+            sim=sim, chain=host, contract=contract,
+            api=api, keypair=keypair, profile=profile,
+            run_duration=run_duration,
+        )
+        validators.append(node)
+        if profile.join_fraction == 0.0:
+            contract.staking.bond(keypair.public_key, profile.stake)
+            genesis_bonded += profile.stake
+        else:
+            def stake_later(api=api, keypair=keypair, profile=profile):
+                api.stake(keypair.public_key, profile.stake)
+            sim.schedule(node.join_time, stake_later)
+            host.airdrop(payer, profile.stake)
+    # Genesis bonds never passed through STAKE transactions, so fund
+    # the treasury directly to keep withdrawals solvent.
+    host.airdrop(contract.treasury, genesis_bonded)
+
+    contract.initialize(ctx_slot=0, ctx_time=0.0)
+
+    cranker_payer = Address.derive(f"{label_prefix}cranker-payer")
+    host.airdrop(cranker_payer, sol_to_lamports(1_000.0))
+    cranker = Cranker(
+        sim, contract, GuestApi(host, contract, cranker_payer),
+        poll_seconds=cranker_poll_seconds,
+    )
+    return ProvisionedGuest(
+        contract=contract, deployer=deployer, validators=validators,
+        cranker=cranker, cranker_payer=cranker_payer,
+        genesis_bonded=genesis_bonded,
+    )
+
+
+def open_transfer_link(sim: Simulation, relayer: Relayer,
+                       guest_client_id: ClientId,
+                       *, guest_port: str = "transfer",
+                       cp_port: Optional[str] = None,
+                       max_seconds: float = 3_600.0) -> tuple[ChannelId, ChannelId]:
+    """Drive one relayer's ICS-03 + ICS-04 handshakes to completion.
+
+    The per-link half of the old ``establish_link``: opens a connection,
+    then a channel over it, stepping the simulation until both four-step
+    handshakes finish (or ``max_seconds`` of simulated time pass).
+    Returns the (guest channel, counterparty channel) pair.  Shared by
+    the legacy single-link path and the fabric topology builder, which
+    calls it once per guest↔counterparty link.
+    """
+    cp_port = cp_port if cp_port is not None else guest_port
+    outcome: dict[str, ChannelId] = {}
+
+    def channel_open(guest_chan: ChannelId, cp_chan: ChannelId) -> None:
+        outcome["guest"] = guest_chan
+        outcome["cp"] = cp_chan
+
+    def connection_open(guest_conn, cp_conn) -> None:
+        relayer.open_channel(PortId(guest_port), PortId(cp_port), channel_open)
+
+    relayer.open_connection(guest_client_id, connection_open)
+    deadline = sim.now + max_seconds
+    while "cp" not in outcome:
+        if sim.now >= deadline or not sim.step():
+            raise SimulationError(
+                f"link establishment incomplete after {sim.now:.0f} s"
+            )
+    return outcome["guest"], outcome["cp"]
+
+
 class Deployment:
     """A fully wired guest-blockchain deployment."""
 
@@ -76,63 +193,22 @@ class Deployment:
         self.host = HostChain(self.sim, self.scheme, config.host)
         self.counterparty = CounterpartyChain(self.sim, self.scheme, config.counterparty)
 
-        self.contract = GuestContract(config.guest, config.counterparty.chain_id)
-        self.host.deploy(self.contract)
-
-        # The deployer funds and allocates the guest's 10 MiB state
-        # account (§V-D's 14.6 k USD deposit).
-        self.deployer = Address.derive("deployer")
-        self.host.airdrop(self.deployer, sol_to_lamports(10_000.0))
-        self.host.accounts.allocate(
-            self.deployer, self.contract.state_account,
-            config.guest.state_account_bytes, self.contract.program_id,
-        )
-
-        # Validators: genesis joiners are bonded before the first block;
-        # later joiners submit STAKE transactions mid-run.
         profiles = config.profiles if config.profiles is not None else simple_profiles(4)
-        self.validators: list[ValidatorNode] = []
-        genesis_bonded = 0
-        for profile in profiles:
-            payer = Address.derive(f"validator-payer-{profile.index}")
-            self.host.airdrop(payer, sol_to_lamports(100.0))
-            keypair = self.scheme.keypair_from_seed(
-                bytes([1]) + profile.index.to_bytes(4, "big") + bytes(27)
-            )
-            api = GuestApi(self.host, self.contract, payer)
-            node = ValidatorNode(
-                sim=self.sim, chain=self.host, contract=self.contract,
-                api=api, keypair=keypair, profile=profile,
-                run_duration=config.run_duration,
-            )
-            self.validators.append(node)
-            if profile.join_fraction == 0.0:
-                self.contract.staking.bond(keypair.public_key, profile.stake)
-                genesis_bonded += profile.stake
-            else:
-                def stake_later(api=api, keypair=keypair, profile=profile):
-                    api.stake(keypair.public_key, profile.stake)
-                self.sim.schedule(node.join_time, stake_later)
-                self.host.airdrop(payer, profile.stake)
-        # Genesis bonds never passed through STAKE transactions, so fund
-        # the treasury directly to keep withdrawals solvent.
-        self.host.airdrop(self.contract.treasury, genesis_bonded)
-
-        self.contract.initialize(ctx_slot=0, ctx_time=0.0)
+        provisioned = provision_guest(
+            self.sim, self.host, self.scheme, config.guest,
+            config.counterparty.chain_id, profiles, config.run_duration,
+            cranker_poll_seconds=config.cranker_poll_seconds,
+        )
+        self.contract = provisioned.contract
+        self.deployer = provisioned.deployer
+        self.validators = provisioned.validators
+        self.cranker = provisioned.cranker
+        self.cranker_payer = provisioned.cranker_payer
 
         # Light client of the guest, hosted on the counterparty.
         assert self.contract.current_epoch is not None
         self.guest_client = GuestLightClient(self.scheme, self.contract.current_epoch)
         self.guest_client_id_on_cp: ClientId = self.counterparty.ibc.create_client(self.guest_client)
-
-        # Operational actors.
-        self.cranker_payer = Address.derive("cranker-payer")
-        self.host.airdrop(self.cranker_payer, sol_to_lamports(1_000.0))
-        self.cranker = Cranker(
-            self.sim, self.contract,
-            GuestApi(self.host, self.contract, self.cranker_payer),
-            poll_seconds=config.cranker_poll_seconds,
-        )
 
         self.relayer_payer = Address.derive("relayer-payer")
         self.host.airdrop(self.relayer_payer, sol_to_lamports(10_000.0))
@@ -169,25 +245,10 @@ class Deployment:
         Runs the simulation until both four-step handshakes complete;
         raises if they do not finish within ``max_seconds``.
         """
-        outcome: dict[str, ChannelId] = {}
-
-        def channel_open(guest_chan: ChannelId, cp_chan: ChannelId) -> None:
-            outcome["guest"] = guest_chan
-            outcome["cp"] = cp_chan
-
-        def connection_open(guest_conn, cp_conn) -> None:
-            self.relayer.open_channel(PortId(port), PortId(port), channel_open)
-
-        self.relayer.open_connection(
-            self.contract.counterparty_client_id, connection_open,
+        return open_transfer_link(
+            self.sim, self.relayer, self.contract.counterparty_client_id,
+            guest_port=port, cp_port=port, max_seconds=max_seconds,
         )
-        deadline = self.sim.now + max_seconds
-        while "cp" not in outcome:
-            if self.sim.now >= deadline or not self.sim.step():
-                raise SimulationError(
-                    f"link establishment incomplete after {self.sim.now:.0f} s"
-                )
-        return outcome["guest"], outcome["cp"]
 
     # ------------------------------------------------------------------
     # Convenience

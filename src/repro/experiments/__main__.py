@@ -31,7 +31,7 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
 _EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit",
                   "chaos-soak", "chaos-smoke", "profile-soak",
-                  "wallclock-smoke"}
+                  "wallclock-smoke", "topology-sweep", "topology-smoke"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -191,6 +191,31 @@ def main(argv: list[str] | None = None) -> int:
             print("\n\n".join(blocks))
             for failure in failures:
                 print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+            return 1
+
+    if targets & {"topology-sweep", "topology-smoke"}:
+        import json
+
+        from repro.experiments.topology import (
+            check_topology, render_topology, run_topology_smoke,
+            run_topology_sweep,
+        )
+        smoke = "topology-smoke" in targets
+        started = time.time()
+        print("Running the topology sweep"
+              + (" (smoke scale)" if smoke else "") + "...", file=sys.stderr)
+        record = (run_topology_smoke(seed=args.seed) if smoke
+                  else run_topology_sweep())
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_topology(record))
+        suffix = "_smoke" if smoke else ""
+        with open(f"BENCH_topology{suffix}.json", "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        failures = check_topology(record)
+        if failures:
+            print("\n\n".join(blocks))
+            for failure in failures:
+                print(f"TOPOLOGY FAILURE: {failure}", file=sys.stderr)
             return 1
 
     if "profile-soak" in targets:

@@ -1,0 +1,114 @@
+"""Fabric-wide token conservation (the differential suite's invariant).
+
+ICS-20 escrows a unit on the sending chain for every voucher unit it
+mints downstream, so escrowed units are exactly the double-counted
+backing of in-flight and circulating value.  That yields a topology-
+independent invariant that survives multi-hop forwarding, timeouts,
+unwinds and chaos faults:
+
+    for every base denomination ``d``: the sum of **non-escrow**
+    holdings of ``d`` (any trace path) across **all** chains is
+    constant.
+
+Holdings parked at a ``fwd:`` holding address mid-forward count like any
+user balance — they are en route, not backing — which is what makes the
+invariant hold at every instant, not only at quiescence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ibc.apps.transfer import Bank
+
+#: ICS-20 escrow accounts (see TransferApp.escrow_address).
+_ESCROW_PREFIX = "escrow/"
+
+
+def base_denom(denom: str) -> str:
+    """Strip every ``{port}/{channel}/`` trace prefix off a denom.
+
+    Voucher denoms nest one prefix per hop away from the origin
+    (``transfer/channel-2/transfer/channel-0/uatom`` → ``uatom``).
+    """
+    while True:
+        first = denom.find("/")
+        if first < 0:
+            return denom
+        second = denom.find("/", first + 1)
+        if second < 0:
+            return denom
+        denom = denom[second + 1:]
+
+
+def is_escrow(address: str) -> bool:
+    return address.startswith(_ESCROW_PREFIX)
+
+
+def non_escrow_totals(banks: dict[str, Bank]) -> dict[str, int]:
+    """Per-base-denom sum of non-escrow holdings across all chains."""
+    totals: dict[str, int] = {}
+    for bank in banks.values():
+        for (address, denom), amount in bank.balances().items():
+            if is_escrow(address):
+                continue
+            base = base_denom(denom)
+            totals[base] = totals.get(base, 0) + amount
+    return totals
+
+
+def escrow_totals(banks: dict[str, Bank]) -> dict[str, int]:
+    """Per-base-denom sum of escrowed (backing) units across chains."""
+    totals: dict[str, int] = {}
+    for bank in banks.values():
+        for (address, denom), amount in bank.balances().items():
+            if not is_escrow(address):
+                continue
+            base = base_denom(denom)
+            totals[base] = totals.get(base, 0) + amount
+    return totals
+
+
+@dataclass
+class ConservationReport:
+    """Outcome of one conservation check."""
+
+    ok: bool
+    failures: list[str]
+    initial: dict[str, int]
+    final: dict[str, int]
+
+
+class ConservationChecker:
+    """Snapshot the fabric's supply at t0; verify it never changed.
+
+    Construct it right after deployment (before any traffic), run the
+    workload, then call :meth:`check`.
+    """
+
+    def __init__(self, banks: dict[str, Bank]) -> None:
+        self._banks = dict(banks)
+        self.initial = non_escrow_totals(self._banks)
+
+    def check(self) -> ConservationReport:
+        final = non_escrow_totals(self._banks)
+        failures: list[str] = []
+        for base in sorted(set(self.initial) | set(final)):
+            before = self.initial.get(base, 0)
+            after = final.get(base, 0)
+            if before != after:
+                failures.append(
+                    f"base denom {base!r}: non-escrow supply moved "
+                    f"{before} -> {after} (delta {after - before:+d})"
+                )
+        negative = [
+            f"{chain}: {address} holds {amount} {denom} < 0"
+            for chain, bank in self._banks.items()
+            for (address, denom), amount in bank.balances().items()
+            if amount < 0
+        ]
+        failures.extend(negative)
+        return ConservationReport(
+            ok=not failures, failures=failures,
+            initial=dict(self.initial), final=final,
+        )

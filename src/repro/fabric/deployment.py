@@ -1,0 +1,355 @@
+"""Build a whole fabric from a :class:`TopologyConfig`.
+
+One host chain, N guest contracts (per-guest accounts, validator
+cohorts, crankers — fee and compute isolation comes free from distinct
+namespaces), M counterparty chains, a relayer per link (the classic
+:class:`~repro.relayer.relayer.Relayer` for guest↔counterparty links, a
+:class:`~repro.relayer.routing.SiblingRelayer` for guest↔guest links)
+and a :class:`~repro.relayer.routing.RouteTable` resolving the named
+multi-hop routes.  ``establish_all`` runs every handshake sequentially;
+``send_along`` then originates a transfer down any named route.
+
+The deployment is duck-compatible with the single-guest
+:class:`repro.deployment.Deployment` where the chaos machinery expects
+it (``sim``/``host``/``gossip``/``validators``/``contract``/``cranker``/
+``relayer``/``validator_keypair``), so :class:`repro.chaos.ChaosInjector`
+drives fabric experiments unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.counterparty.chain import CounterpartyChain, CounterpartyConfig
+from repro.crypto.keys import Keypair, SignatureScheme
+from repro.deployment import ProvisionedGuest, open_transfer_link, provision_guest
+from repro.errors import SimulationError
+from repro.fabric.conservation import ConservationChecker
+from repro.fabric.topology import LinkSpec, TopologyConfig
+from repro.guest.api import GuestApi
+from repro.host.accounts import Address
+from repro.host.chain import HostChain
+from repro.ibc.identifiers import ChannelId, ClientId, PortId
+from repro.lightclient.guest_client import GuestLightClient
+from repro.observability import Tracer
+from repro.relayer.relayer import Relayer
+from repro.relayer.routing import Hop, LinkEnd, RouteTable, SiblingRelayer
+from repro.sim.gossip import GossipNetwork
+from repro.sim.kernel import Simulation
+from repro.units import sol_to_lamports
+from repro.validators.profiles import simple_profiles
+
+
+@dataclass
+class FabricLink:
+    """One established link and the relayer serving it."""
+
+    spec: LinkSpec
+    kind: str  # "guest-cp" | "guest-guest"
+    relayer: Union[Relayer, SiblingRelayer]
+    #: Payer addresses this link's relayer burns fees from, for the
+    #: per-guest fee-partition accounting of the topology sweep.
+    payers: tuple[Address, ...] = ()
+    #: chain name -> that chain's channel end (set by establish_all).
+    channels: dict = field(default_factory=dict)
+
+    @property
+    def port(self) -> str:
+        return self.spec.port
+
+
+class FabricDeployment:
+    """N guests on one host, wired per a validated topology."""
+
+    def __init__(self, config: TopologyConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulation(
+            seed=config.seed,
+            tracer=Tracer() if config.tracing else None,
+        )
+        self.scheme: SignatureScheme = config.scheme_factory()
+        self.host = HostChain(self.sim, self.scheme, config.host)
+        self.gossip = GossipNetwork(self.sim)
+
+        self.counterparties: dict[str, CounterpartyChain] = {}
+        for spec in config.counterparties:
+            cp_config = replace(spec.config or CounterpartyConfig(),
+                                chain_id=spec.name)
+            self.counterparties[spec.name] = CounterpartyChain(
+                self.sim, self.scheme, cp_config)
+
+        # Which counterparty each guest links to (validated: at most 1).
+        cp_of_guest: dict[str, str] = {}
+        for link in config.links:
+            for end, other in ((link.a, link.b), (link.b, link.a)):
+                if end in config.guest_names() and other in self.counterparties:
+                    cp_of_guest[end] = other
+        default_cp = next(iter(self.counterparties), "picasso-1")
+
+        self.guests: dict[str, ProvisionedGuest] = {}
+        self.user: dict[str, Address] = {}
+        self.user_api: dict[str, GuestApi] = {}
+        for index, spec in enumerate(config.guests):
+            provisioned = provision_guest(
+                self.sim, self.host, self.scheme, spec.config,
+                cp_of_guest.get(spec.name, default_cp),
+                simple_profiles(spec.validators), config.run_duration,
+                namespace=spec.name, label_prefix=f"{spec.name}-",
+                cranker_poll_seconds=spec.cranker_poll_seconds,
+                key_salt=index,
+            )
+            if spec.forwarding:
+                provisioned.contract.install_forwarding(
+                    config.hop_timeout_seconds)
+            self.guests[spec.name] = provisioned
+            user = Address.derive(f"{spec.name}-user")
+            self.host.airdrop(user, sol_to_lamports(1_000.0))
+            self.user[spec.name] = user
+            self.user_api[spec.name] = GuestApi(
+                self.host, provisioned.contract, user)
+
+        self.links: list[FabricLink] = []
+        for link in config.links:
+            self.links.append(self._wire_link(link))
+
+        self.routes = RouteTable()
+        self._established = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _wire_link(self, link: LinkSpec) -> FabricLink:
+        guests = self.config.guest_names()
+        if link.a in guests and link.b in guests:
+            return self._wire_sibling_link(link)
+        guest_name = link.a if link.a in guests else link.b
+        cp_name = link.b if link.a in guests else link.a
+        contract = self.guests[guest_name].contract
+        counterparty = self.counterparties[cp_name]
+
+        assert contract.current_epoch is not None
+        guest_client = GuestLightClient(self.scheme, contract.current_epoch,
+                                        chain_id=contract.chain_id)
+        guest_client_id_on_cp: ClientId = counterparty.ibc.create_client(
+            guest_client)
+        payer = Address.derive(f"{guest_name}-{cp_name}-relayer-payer")
+        self.host.airdrop(payer, sol_to_lamports(10_000.0))
+        relayer = Relayer(
+            self.sim, self.host, counterparty, contract,
+            GuestApi(self.host, contract, payer),
+            guest_client, guest_client_id_on_cp,
+            self.config.relayer,
+        )
+        return FabricLink(spec=link, kind="guest-cp", relayer=relayer,
+                          payers=(payer,))
+
+    def _wire_sibling_link(self, link: LinkSpec) -> FabricLink:
+        contract_a = self.guests[link.a].contract
+        contract_b = self.guests[link.b].contract
+        client_of_b_on_a = contract_a.register_sibling(contract_b)
+        client_of_a_on_b = contract_b.register_sibling(contract_a)
+        ends = []
+        payers = []
+        for name, contract, client in (
+                (link.a, contract_a, client_of_b_on_a),
+                (link.b, contract_b, client_of_a_on_b)):
+            payer = Address.derive(f"{link.a}-{link.b}-sibling-payer-{name}")
+            self.host.airdrop(payer, sol_to_lamports(10_000.0))
+            payers.append(payer)
+            ends.append(LinkEnd(
+                contract=contract,
+                api=GuestApi(self.host, contract, payer),
+                client_of_peer=client,
+                port=PortId(link.port),
+            ))
+        relayer = SiblingRelayer(self.sim, self.host, ends[0], ends[1],
+                                 self.config.sibling)
+        return FabricLink(spec=link, kind="guest-guest", relayer=relayer,
+                          payers=tuple(payers))
+
+    # ------------------------------------------------------------------
+    # Handshakes and routes
+    # ------------------------------------------------------------------
+
+    def establish_all(self, max_seconds_per_link: float = 3_600.0) -> None:
+        """Open every link (sequentially — the per-guest HandshakeStep
+        waiters are one-shot, so concurrent handshakes on one guest
+        would race), then resolve the route table."""
+        for fabric_link in self.links:
+            if fabric_link.kind == "guest-cp":
+                self._establish_cp_link(fabric_link, max_seconds_per_link)
+            else:
+                self._establish_sibling_link(fabric_link, max_seconds_per_link)
+        for route in self.config.routes:
+            self.routes.add(route.name, [
+                self._egress_hop(chain, nxt)
+                for chain, nxt in zip(route.hops, route.hops[1:])
+            ])
+        self._established = True
+
+    def _establish_cp_link(self, fabric_link: FabricLink,
+                           max_seconds: float) -> None:
+        link = fabric_link.spec
+        guests = self.config.guest_names()
+        guest_name = link.a if link.a in guests else link.b
+        cp_name = link.b if link.a in guests else link.a
+        contract = self.guests[guest_name].contract
+        relayer = fabric_link.relayer
+        assert isinstance(relayer, Relayer)
+        guest_chan, cp_chan = open_transfer_link(
+            self.sim, relayer, contract.counterparty_client_id,
+            guest_port=link.port, cp_port=link.port,
+            max_seconds=max_seconds,
+        )
+        fabric_link.channels[guest_name] = guest_chan
+        fabric_link.channels[cp_name] = cp_chan
+
+    def _establish_sibling_link(self, fabric_link: FabricLink,
+                                max_seconds: float) -> None:
+        link = fabric_link.spec
+        relayer = fabric_link.relayer
+        assert isinstance(relayer, SiblingRelayer)
+        outcome: dict[str, ChannelId] = {}
+
+        def on_open(chan_a: ChannelId, chan_b: ChannelId) -> None:
+            outcome[link.a] = chan_a
+            outcome[link.b] = chan_b
+
+        relayer.open_link(on_open)
+        deadline = self.sim.now + max_seconds
+        while link.b not in outcome:
+            if self.sim.now >= deadline or not self.sim.step():
+                raise SimulationError(
+                    f"sibling link {link.a}-{link.b} incomplete "
+                    f"after {self.sim.now:.0f} s"
+                )
+        fabric_link.channels.update(outcome)
+
+    def link_between(self, a: str, b: str) -> FabricLink:
+        wanted = frozenset((a, b))
+        for fabric_link in self.links:
+            if fabric_link.spec.ends == wanted:
+                return fabric_link
+        raise KeyError(f"no link between {a!r} and {b!r}")
+
+    def _egress_hop(self, chain: str, next_chain: str) -> Hop:
+        fabric_link = self.link_between(chain, next_chain)
+        channel = fabric_link.channels.get(chain)
+        if channel is None:
+            raise SimulationError(
+                f"link {chain}-{next_chain} has no channel yet "
+                "(establish_all not run?)"
+            )
+        return Hop(chain=chain, port=fabric_link.port, channel=str(channel))
+
+    # ------------------------------------------------------------------
+    # Routed sends (the origination half of the routing relayer)
+    # ------------------------------------------------------------------
+
+    def send_along(self, route_name: str, sender: str, receiver: str,
+                   denom: str, amount: int,
+                   timeout_timestamp: float = 0.0) -> None:
+        """Originate one transfer down a named route: dial the route's
+        first hop, encode the rest into the ``fwd:`` receiver chain."""
+        hop = self.routes.first_hop(route_name)
+        encoded = self.routes.receiver_for(route_name, receiver)
+        if hop.chain in self.counterparties:
+            counterparty = self.counterparties[hop.chain]
+
+            def originate():
+                payload = counterparty.transfer.make_payload(
+                    ChannelId(hop.channel), denom, amount,
+                    sender=sender, receiver=encoded,
+                )
+                return counterparty.ibc.send_packet(
+                    PortId(hop.port), ChannelId(hop.channel), payload,
+                    timeout_timestamp,
+                )
+
+            counterparty.submit(originate)
+            return
+        contract = self.guests[hop.chain].contract
+        payload = contract.transfer.make_payload(
+            ChannelId(hop.channel), denom, amount,
+            sender=sender, receiver=encoded,
+        )
+        self.user_api[hop.chain].send_packet(
+            hop.port, hop.channel, payload, timeout_timestamp)
+
+    # ------------------------------------------------------------------
+    # Accounting and chaos-injector compatibility
+    # ------------------------------------------------------------------
+
+    def banks(self) -> dict[str, "object"]:
+        """Every chain's bank, keyed by chain name (conservation input)."""
+        out = {name: g.contract.bank for name, g in self.guests.items()}
+        out.update({name: cp.bank for name, cp in self.counterparties.items()})
+        return out
+
+    def conservation_checker(self) -> ConservationChecker:
+        return ConservationChecker(self.banks())
+
+    def cohort_addresses(self, guest_name: str) -> tuple[Address, ...]:
+        """Every host account a guest's operational cohort pays from —
+        the denominator of the per-guest fee-partition metric."""
+        provisioned = self.guests[guest_name]
+        addresses = [provisioned.deployer, provisioned.cranker_payer,
+                     self.user[guest_name], provisioned.contract.treasury]
+        addresses += [node.api.payer for node in provisioned.validators]
+        for fabric_link in self.links:
+            if guest_name in fabric_link.spec.ends:
+                addresses.extend(fabric_link.payers)
+        return tuple(dict.fromkeys(addresses))
+
+    def run_for(self, seconds: float) -> None:
+        self.sim.run_until(self.sim.now + seconds)
+
+    @property
+    def first_guest(self) -> ProvisionedGuest:
+        return self.guests[self.config.guests[0].name]
+
+    @property
+    def contract(self):
+        return self.first_guest.contract
+
+    @property
+    def cranker(self):
+        return self.first_guest.cranker
+
+    @property
+    def validators(self):
+        return [node for g in self.guests.values() for node in g.validators]
+
+    @property
+    def relayer(self):
+        if getattr(self, "_relayer_override", None) is not None:
+            return self._relayer_override
+        for fabric_link in self.links:
+            if fabric_link.kind == "guest-cp":
+                return fabric_link.relayer
+        if self.links:
+            return self.links[0].relayer
+        raise SimulationError("fabric has no links, hence no relayer")
+
+    @relayer.setter
+    def relayer(self, value) -> None:
+        #: Point the chaos injector's relayer faults at a specific link.
+        self._relayer_override = value
+
+    def validator_keypair(self, index: int) -> Keypair:
+        for node in self.first_guest.validators:
+            if node.profile.index == index:
+                return node.keypair
+        raise KeyError(f"no validator with index {index}")
+
+
+def build_fabric(config: TopologyConfig,
+                 establish: bool = True) -> FabricDeployment:
+    """Build (and by default link up) a fabric deployment."""
+    deployment = FabricDeployment(config)
+    if establish:
+        deployment.establish_all()
+    return deployment

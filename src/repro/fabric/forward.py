@@ -1,0 +1,265 @@
+"""Packet-forwarding middleware: multi-hop ICS-20 routes.
+
+Wraps a guest's :class:`~repro.ibc.apps.transfer.TransferApp` so a
+transfer can travel A → guest₁ → guest₂ → B without the sender opening a
+direct channel to B.  The route rides inside the ICS-20 ``receiver``
+field (the packet-forward-middleware convention):
+
+    ``fwd:<next_port>/<next_channel>|<rest>``
+
+where ``<rest>`` is the receiver for the next hop — possibly itself a
+``fwd:`` address, nesting arbitrarily deep routes.
+
+Semantics (docs/FABRIC.md):
+
+* **Hop-scoped acks.**  Each hop acknowledges success as soon as *its*
+  onward send is committed, not when the packet reaches the final
+  receiver.  The sender's escrow is settled per hop; end-to-end failure
+  surfaces as an unwind (below), not as an error ack on hop 1.
+* **Timeout / failure unwinding.**  If the onward hop errors or times
+  out, the inner app first refunds the forwarding address (its usual
+  sender-side refund), then the middleware sends a *return transfer*
+  back along the inbound channel to the original sender.  The unwind
+  send carries no timeout so the refund leg cannot itself strand funds.
+* **Exactly-once.**  The unwind record is popped on the first ack or
+  timeout of the onward packet; IBC deletes the packet commitment on
+  either path, so no second ack/timeout for the same hop can execute
+  on-chain (crash-safe against relayer restarts).
+* **Atomic reversal.**  If the onward send fails synchronously (bad
+  route, closed channel, rate limit downstream of an accepted recv),
+  the middleware reverses the inner credit before returning an error
+  ack — otherwise the sender-side refund would double-credit and break
+  conservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import IbcError, ReproError
+from repro.ibc.apps.transfer import FungibleTokenPacketData, TransferApp
+from repro.ibc.host import IbcApp
+from repro.ibc.identifiers import ChannelId
+from repro.ibc.packet import Acknowledgement, Packet
+
+FORWARD_PREFIX = "fwd:"
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardRoute:
+    """One decoded hop of a ``fwd:`` receiver address."""
+
+    port: str
+    channel: str
+    next_receiver: str
+
+
+def forward_receiver(hops: Sequence[tuple[str, str]], final_receiver: str) -> str:
+    """Encode a multi-hop route into an ICS-20 receiver string.
+
+    ``hops`` are the (port, channel) pairs each *intermediate* chain
+    must send on, in path order; the first hop's channel is chosen by
+    the sender itself and is not encoded.
+    """
+    receiver = final_receiver
+    for port, channel in reversed(list(hops)):
+        receiver = f"{FORWARD_PREFIX}{port}/{channel}|{receiver}"
+    return receiver
+
+
+def parse_forward(receiver: str) -> Optional[ForwardRoute]:
+    """Decode the next hop, or None for a plain (terminal) receiver."""
+    if not receiver.startswith(FORWARD_PREFIX):
+        return None
+    head, sep, rest = receiver[len(FORWARD_PREFIX):].partition("|")
+    port, slash, channel = head.partition("/")
+    if not sep or not slash or not port or not channel or not rest:
+        raise IbcError(f"malformed forward route in receiver {receiver!r}")
+    return ForwardRoute(port=port, channel=channel, next_receiver=rest)
+
+
+@dataclass(slots=True)
+class _ForwardRecord:
+    """Everything needed to unwind one in-flight onward hop."""
+
+    inbound: Packet
+    holder: str          # the literal fwd: address holding the funds
+    local_denom: str     # denom as held on this chain
+    amount: int
+    original_sender: str
+
+
+class ForwardMiddleware(IbcApp):
+    """The forwarding decorator around a chain's transfer app."""
+
+    def __init__(self, inner: TransferApp,
+                 send: Callable[[str, str, bytes, float], Packet],
+                 clock: Callable[[], float],
+                 hop_timeout_seconds: float = 600.0) -> None:
+        self.inner = inner
+        self._send = send
+        self._clock = clock
+        self.hop_timeout_seconds = hop_timeout_seconds
+        #: (onward source channel, onward sequence) -> unwind record.
+        self._forwards: dict[tuple[str, int], _ForwardRecord] = {}
+        #: Successfully forwarded hops, retained so a refund arriving
+        #: from *further downstream* (hop-scoped acks settle each hop
+        #: early) can keep unwinding toward the original sender.
+        self._settled: list[_ForwardRecord] = []
+        self._settled_cap = 4096
+        self.forwards_started = 0
+        self.forwards_settled = 0
+        self.unwinds = 0
+
+    # ------------------------------------------------------------------
+    # IbcApp callbacks
+    # ------------------------------------------------------------------
+
+    def on_recv(self, packet: Packet) -> Acknowledgement:
+        try:
+            data = FungibleTokenPacketData.from_bytes(packet.payload)
+        except (ValueError, IbcError):
+            return self.inner.on_recv(packet)  # its malformed-payload ack
+        try:
+            route = parse_forward(data.receiver)
+        except IbcError as exc:
+            # Nothing moved yet: an error ack refunds the sender upstream.
+            return Acknowledgement.error(str(exc))
+        if route is None:
+            return self.inner.on_recv(packet)
+        if (route.channel == str(packet.destination_channel)
+                and route.port == str(packet.destination_port)):
+            # A hairpin "route" back out the inbound channel is never a
+            # forward — it is a downstream refund returning to the fwd:
+            # holding address of a hop this middleware already settled.
+            # Credit it, then keep unwinding toward the origin.
+            return self._recv_unwind_return(packet, data)
+        if route.port != str(self.inner.port_id):
+            return Acknowledgement.error(
+                f"forward port {route.port!r} is not bound to a transfer app"
+            )
+
+        ack = self.inner.on_recv(packet)
+        if not ack.success:
+            return ack
+        # The funds now sit at the literal fwd: address, under the denom
+        # this chain knows them by (escrow released or voucher minted).
+        returning_prefix = f"{packet.source_port}/{packet.source_channel}/"
+        if data.denom.startswith(returning_prefix):
+            local_denom = data.denom[len(returning_prefix):]
+        else:
+            local_denom = self.inner.voucher_denom(
+                packet.destination_channel, data.denom)
+        payload = None
+        try:
+            payload = self.inner.make_payload(
+                ChannelId(route.channel), local_denom, data.amount,
+                sender=data.receiver, receiver=route.next_receiver,
+            )
+            onward = self._send(route.port, route.channel, payload,
+                                self._clock() + self.hop_timeout_seconds)
+        except (ReproError, ValueError) as exc:
+            if payload is not None:
+                # make_payload already escrowed/burned for a send that
+                # never committed: undo that leg before the recv credit.
+                self._reverse_send(ChannelId(route.channel), local_denom,
+                                   data.amount, data.receiver)
+            self._reverse_recv(packet, data, local_denom)
+            return Acknowledgement.error(f"forward failed: {exc}")
+        self._forwards[(str(onward.source_channel), onward.sequence)] = \
+            _ForwardRecord(
+                inbound=packet, holder=data.receiver,
+                local_denom=local_denom, amount=data.amount,
+                original_sender=data.sender,
+            )
+        self.forwards_started += 1
+        return Acknowledgement.ok()
+
+    def on_acknowledge(self, packet: Packet, ack: Acknowledgement) -> None:
+        record = self._forwards.pop(
+            (str(packet.source_channel), packet.sequence), None)
+        # Inner first: an error ack refunds the forwarding address,
+        # which the unwind below then returns to the original sender.
+        self.inner.on_acknowledge(packet, ack)
+        if record is None:
+            return
+        if ack.success:
+            self.forwards_settled += 1
+            self._settled.append(record)
+            if len(self._settled) > self._settled_cap:
+                self._settled.pop(0)
+            return
+        self._unwind(record)
+
+    def on_timeout(self, packet: Packet) -> None:
+        record = self._forwards.pop(
+            (str(packet.source_channel), packet.sequence), None)
+        self.inner.on_timeout(packet)  # refund to the forwarding address
+        if record is not None:
+            self._unwind(record)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _recv_unwind_return(self, packet: Packet,
+                            data: FungibleTokenPacketData) -> Acknowledgement:
+        """A refund came back from downstream: accept it, then continue
+        the unwind toward the original sender if we still know them."""
+        ack = self.inner.on_recv(packet)
+        if not ack.success:
+            return ack
+        for index, record in enumerate(self._settled):
+            if (record.holder == data.receiver
+                    and record.amount == data.amount):
+                del self._settled[index]
+                self._unwind(record)
+                break
+        # No matching hop (e.g. the record aged out of the cap): the
+        # funds stay parked at the fwd: address — conserved, recoverable
+        # by governance, but no longer routable automatically.
+        return ack
+
+    def _reverse_send(self, channel: ChannelId, denom: str, amount: int,
+                      sender: str) -> None:
+        """Undo a make_payload whose onward send failed synchronously:
+        re-mint the burned voucher or release the fresh escrow."""
+        if denom.startswith(f"{self.inner.port_id}/{channel}/"):
+            self.inner.bank.mint(sender, denom, amount)
+        else:
+            self.inner.bank.transfer(
+                self.inner.escrow_address(channel), sender, denom, amount)
+
+    def _reverse_recv(self, packet: Packet, data: FungibleTokenPacketData,
+                      local_denom: str) -> None:
+        """Undo the inner app's recv credit (synchronous forward failure)."""
+        returning_prefix = f"{packet.source_port}/{packet.source_channel}/"
+        if data.denom.startswith(returning_prefix):
+            # recv released this channel's escrow: lock it back.
+            self.inner.bank.transfer(
+                data.receiver,
+                self.inner.escrow_address(packet.destination_channel),
+                local_denom, data.amount,
+            )
+        else:
+            # recv minted a voucher: burn it again.
+            self.inner.bank.burn(data.receiver, local_denom, data.amount)
+
+    def _unwind(self, record: _ForwardRecord) -> None:
+        """Return the refunded funds to the original sender, upstream.
+
+        Runs after the inner refund put ``amount`` of ``local_denom``
+        back at the forwarding address; sends it as a normal transfer
+        on the *inbound* channel (timeout 0: the refund leg must not
+        itself expire).
+        """
+        inbound = record.inbound
+        payload = self.inner.make_payload(
+            ChannelId(str(inbound.destination_channel)),
+            record.local_denom, record.amount,
+            sender=record.holder, receiver=record.original_sender,
+        )
+        self._send(str(inbound.destination_port),
+                   str(inbound.destination_channel), payload, 0.0)
+        self.unwinds += 1

@@ -1,0 +1,88 @@
+"""Light client of a sibling guest — two guests, one host.
+
+When both chains of an IBC link are guest contracts deployed on the
+*same* host, neither needs to re-verify the other's consensus from
+signatures: the peer's block finalisation is host state that the host
+runtime already enforced (a stake quorum of runtime-verified SIGN_BLOCK
+instructions).  The client therefore adopts finalised peer heights by
+reading them directly — ICS-09 "localhost"-style trust, generalised to
+two programs sharing one execution environment.  On a real host the
+``adopt`` below is a cross-program read of the peer's state account.
+
+Adopting is *idempotent*: relayers prepend a SIBLING_UPDATE instruction
+to every cross-guest delivery bundle (atomic update-then-prove), and two
+relayers racing on the same height must not fail each other's bundles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.crypto.hashing import Hash
+from repro.errors import ClientError, UnknownBlockError
+from repro.ibc.client import LightClient
+
+if TYPE_CHECKING:
+    from repro.guest.contract import GuestContract
+
+
+class SiblingGuestClient(LightClient):
+    """On-chain view of another guest contract on the same host."""
+
+    def __init__(self, peer: "GuestContract") -> None:
+        super().__init__()
+        self.peer = peer
+        #: height -> (state root, guest block timestamp).
+        self._heights: dict[int, tuple[Hash, float]] = {}
+        self._latest = -1
+
+    # -- updates -----------------------------------------------------------
+
+    def adopt(self, height: int) -> bool:
+        """Track a finalised peer height; returns False if already known.
+
+        Raises :class:`UnknownBlockError` for a height the peer does not
+        have and :class:`ClientError` for one that is not finalised —
+        the host-verified analogue of a failed signature check.
+        """
+        self.ensure_active()
+        if height in self._heights:
+            return False
+        block = self.peer.block_at(height)
+        if not block.finalised:
+            raise ClientError(
+                f"sibling block {height} of {self.peer.chain_id} "
+                "is not finalised"
+            )
+        self._heights[height] = (block.header.state_root,
+                                 block.header.timestamp)
+        self._latest = max(self._latest, height)
+        return True
+
+    # -- LightClient interface ---------------------------------------------
+
+    def latest_height(self) -> int:
+        return max(self._latest, 0)
+
+    def consensus_root(self, height: int) -> Optional[Hash]:
+        entry = self._heights.get(height)
+        return entry[0] if entry is not None else None
+
+    def consensus_timestamp(self, height: int) -> Optional[float]:
+        entry = self._heights.get(height)
+        return entry[1] if entry is not None else None
+
+    # -- handshake claim ---------------------------------------------------
+
+    def state_summary(self):
+        """What this client claims about the sibling — validated by the
+        peer's ICS-03 ``validate_self_client`` hook during handshakes."""
+        from repro.ibc.self_client import SelfClientState
+        if self._latest < 0:
+            raise UnknownBlockError("no sibling height adopted yet")
+        header = self.peer.block_at(self._latest).header
+        return SelfClientState(
+            chain_id=self.peer.chain_id,
+            latest_height=self._latest,
+            trusted_set_hash=bytes(header.epoch_hash),
+        )

@@ -174,6 +174,12 @@ class GuestApi:
             on_result=on_result,
         )
 
+    def sibling_update(self, client_id: str, height: int,
+                       on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
+        """Adopt a finalised sibling-guest height (idempotent; the
+        cross-guest counterpart of a light-client update)."""
+        self._single(ins.sibling_update(client_id, height), on_result=on_result)
+
     def stake(self, validator_key: PublicKey, lamports: int,
               on_result: Optional[Callable[[TxReceipt], None]] = None) -> None:
         self._single(ins.stake(validator_key, lamports), on_result=on_result)
@@ -381,7 +387,8 @@ class GuestApi:
     def _buffered_exec(self, msg_bytes: bytes,
                        exec_ins_for: Callable[[int], bytes],
                        tip_lamports: int,
-                       on_done: Optional[Callable[[DeliveryResult], None]]) -> None:
+                       on_done: Optional[Callable[[DeliveryResult], None]],
+                       prelude: tuple[bytes, ...] = ()) -> None:
         from repro.lightclient.chunked import usable_chunk_bytes
         buffer_id = next(_buffer_ids)
         exec_ins = exec_ins_for(buffer_id)
@@ -390,7 +397,22 @@ class GuestApi:
             msg_bytes[offset : offset + chunk_size]
             for offset in range(0, len(msg_bytes), chunk_size)
         ] or [b""]
+        # Bundle members execute in creation order, so prelude
+        # instructions (e.g. an idempotent SIBLING_UPDATE) run strictly
+        # before the exec — atomic update-then-prove in one host block.
         transactions = [
+            Transaction(
+                payer=self.payer,
+                instructions=(Instruction(
+                    self.contract.program_id,
+                    (self.contract.state_account, self.contract.treasury),
+                    data,
+                ),),
+                fee_strategy=BaseFee(),
+            )
+            for data in prelude
+        ]
+        transactions += [
             Transaction(
                 payer=self.payer,
                 instructions=(Instruction(
@@ -428,7 +450,8 @@ class GuestApi:
 
     def deliver_packet(self, packet, proof, proof_height: int,
                        tip_lamports: int = 10_000,
-                       on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+                       on_done: Optional[Callable[[DeliveryResult], None]] = None,
+                       prelude: tuple[bytes, ...] = ()) -> None:
         """ReceivePacket: stage packet + proof, execute — one atomic
         bundle, hence one host block (§V-A)."""
         msg = ins.BufferedPacketMsg(
@@ -436,28 +459,33 @@ class GuestApi:
             proof_bytes=proof.to_bytes(),
             proof_height=proof_height,
         )
-        self._buffered_exec(msg.to_bytes(), ins.recv_exec, tip_lamports, on_done)
+        self._buffered_exec(msg.to_bytes(), ins.recv_exec, tip_lamports,
+                            on_done, prelude=prelude)
 
     def acknowledge_packet(self, packet, ack, proof, proof_height: int,
                            tip_lamports: int = 10_000,
-                           on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+                           on_done: Optional[Callable[[DeliveryResult], None]] = None,
+                           prelude: tuple[bytes, ...] = ()) -> None:
         msg = ins.BufferedPacketMsg(
             packet_bytes=packet.to_bytes(),
             proof_bytes=proof.to_bytes(),
             proof_height=proof_height,
             ack_bytes=ack.to_bytes(),
         )
-        self._buffered_exec(msg.to_bytes(), ins.ack_exec, tip_lamports, on_done)
+        self._buffered_exec(msg.to_bytes(), ins.ack_exec, tip_lamports,
+                            on_done, prelude=prelude)
 
     def timeout_packet(self, packet, proof, proof_height: int,
                        tip_lamports: int = 10_000,
-                       on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+                       on_done: Optional[Callable[[DeliveryResult], None]] = None,
+                       prelude: tuple[bytes, ...] = ()) -> None:
         msg = ins.BufferedPacketMsg(
             packet_bytes=packet.to_bytes(),
             proof_bytes=proof.to_bytes(),
             proof_height=proof_height,
         )
-        self._buffered_exec(msg.to_bytes(), ins.timeout_exec, tip_lamports, on_done)
+        self._buffered_exec(msg.to_bytes(), ins.timeout_exec, tip_lamports,
+                            on_done, prelude=prelude)
 
     # ------------------------------------------------------------------
     # Batched packet operations (many packets, one bundle)

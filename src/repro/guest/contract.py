@@ -92,14 +92,19 @@ class GuestContract(Program):
     """The guest blockchain, deployed as a program on the host chain."""
 
     def __init__(self, config: GuestConfig, counterparty_chain_id: str,
-                 program_id: Optional[Address] = None) -> None:
+                 program_id: Optional[Address] = None,
+                 namespace: str = "guest") -> None:
         self.config = config
-        self._program_id = program_id or Address.derive("guest-contract")
-        self.state_account = Address.derive("guest-state")
-        self.treasury = Address.derive("guest-treasury")
+        #: The guest's chain id *and* its host account namespace.  Every
+        #: address the contract owns derives from it, so N guests on one
+        #: host never share an account (per-guest fee/state isolation).
+        self.namespace = namespace
+        self._program_id = program_id or Address.derive(f"{namespace}-contract")
+        self.state_account = Address.derive(f"{namespace}-state")
+        self.treasury = Address.derive(f"{namespace}-treasury")
 
         self.store = ProvableStore()
-        self.ibc = IbcHost("guest", store=self.store, seal_receipts=True)
+        self.ibc = IbcHost(namespace, store=self.store, seal_receipts=True)
         self.bank = Bank()
         self.transfer_port = PortId("transfer")
         self.transfer = TransferApp(self.bank, self.transfer_port)
@@ -131,6 +136,18 @@ class GuestContract(Program):
         self.initialized = False
         self.halted = False
         self._last_lc_update_time: Optional[float] = None
+        #: Host compute units this contract consumed, across every
+        #: instruction (the topology sweep partitions this per guest).
+        self.compute_consumed = 0
+        #: Sibling-guest light clients, by client id (cross-guest links).
+        self.sibling_clients: dict = {}
+        #: The forwarding middleware, once installed (multi-hop routing).
+        self.forward = None
+        self._current_ctx: Optional[InvokeContext] = None
+
+    @property
+    def chain_id(self) -> str:
+        return self.ibc.chain_id
 
     # ------------------------------------------------------------------
     # Program interface
@@ -141,6 +158,15 @@ class GuestContract(Program):
         return self._program_id
 
     def execute(self, ctx: InvokeContext, data: bytes) -> None:
+        before = ctx.meter.consumed
+        self._current_ctx = ctx
+        try:
+            self._execute(ctx, data)
+        finally:
+            self._current_ctx = None
+            self.compute_consumed += ctx.meter.consumed - before
+
+    def _execute(self, ctx: InvokeContext, data: bytes) -> None:
         if not data:
             raise ProgramError("empty instruction")
         opcode, payload = data[0], data[1:]
@@ -184,6 +210,8 @@ class GuestContract(Program):
             self._op_handshake(ctx, buffer.assembled())
         elif opcode == Op.BATCH_EXEC:
             self._op_batch_exec(ctx, reader)
+        elif opcode == Op.SIBLING_UPDATE:
+            self._op_sibling_update(ctx, reader)
         elif opcode == Op.SELF_DESTRUCT:
             self._op_self_destruct(ctx)
         elif opcode == Op.CLAIM_REWARDS:
@@ -255,7 +283,8 @@ class GuestContract(Program):
         # Phase 1 of the Fig. 2 decomposition: committed -> included in a
         # generated guest block (closed by GENERATE_BLOCK).
         trace.begin("packet.block_wait", key=packet.sequence, actor="guest")
-        ctx.emit("PacketCommitted", height_hint=self.head.height + 1,
+        ctx.emit("PacketCommitted", guest=self.chain_id,
+                 height_hint=self.head.height + 1,
                  sequence=packet.sequence, channel=str(channel))
 
     # ------------------------------------------------------------------
@@ -328,7 +357,8 @@ class GuestContract(Program):
             self.current_epoch = next_epoch
             self._epoch_start_slot = ctx.slot
         ctx.meter.charge_hash(256)
-        ctx.emit("NewBlock", height=header.height, header=header)
+        ctx.emit("NewBlock", guest=self.chain_id,
+                 height=header.height, header=header)
 
     # ------------------------------------------------------------------
     # Alg. 1: Sign
@@ -371,6 +401,7 @@ class GuestContract(Program):
                              height=height)
             ctx.emit(                                      # l.30
                 "FinalisedBlock",
+                guest=self.chain_id,
                 height=height,
                 header=block.header,
                 packets=packets,
@@ -416,7 +447,8 @@ class GuestContract(Program):
         if amount <= 0:
             raise GuestError("no rewards accrued")
         ctx.accounts_db.transfer(self.treasury, ctx.payer, amount)
-        ctx.emit("RewardsClaimed", validator=public_key, amount=amount)
+        ctx.emit("RewardsClaimed", guest=self.chain_id,
+                 validator=public_key, amount=amount)
 
     def block_at(self, height: int) -> GuestBlock:
         if not 0 <= height < len(self.blocks):
@@ -439,7 +471,8 @@ class GuestContract(Program):
         lamports = reader.read_varint()
         reader.expect_end()
         release = self.staking.request_unbond(public_key, lamports, ctx.unix_time)
-        ctx.emit("UnbondScheduled", validator=public_key, release_time=release)
+        ctx.emit("UnbondScheduled", guest=self.chain_id,
+                 validator=public_key, release_time=release)
 
     def _op_withdraw(self, ctx: InvokeContext, reader: Reader) -> None:
         public_key = PublicKey(reader.read(32))
@@ -536,7 +569,8 @@ class GuestContract(Program):
         trace = ctx.chain.sim.trace
         trace.count("guest.lc.updates")
         trace.observe("guest.lc.verified_signers", len(signers))
-        ctx.emit("CounterpartyClientUpdated", height=header.height)
+        ctx.emit("CounterpartyClientUpdated", guest=self.chain_id,
+                 height=header.height)
 
     def known_valset_hashes(self) -> frozenset[bytes]:
         """Hashes of the validator sets the light client already stores
@@ -576,7 +610,8 @@ class GuestContract(Program):
         ctx.meter.charge_trie_nodes(2 * len(proof.steps) + 8)
         ack = self.ibc.recv_packet(packet, proof, msg.proof_height,
                                    local_time=ctx.unix_time)
-        ctx.emit("PacketReceived", sequence=packet.sequence,
+        ctx.emit("PacketReceived", guest=self.chain_id,
+                 sequence=packet.sequence,
                  channel=str(packet.destination_channel),
                  ack_success=ack.success, packet=packet,
                  ack_bytes=ack.to_bytes())
@@ -587,7 +622,8 @@ class GuestContract(Program):
         proof = MembershipProof.from_bytes(msg.proof_bytes)
         ctx.meter.charge_hash(len(msg.proof_bytes))
         self.ibc.acknowledge_packet(packet, ack, proof, msg.proof_height)
-        ctx.emit("PacketAcknowledged", sequence=packet.sequence,
+        ctx.emit("PacketAcknowledged", guest=self.chain_id,
+                 sequence=packet.sequence,
                  channel=str(packet.source_channel))
 
     def _exec_timeout_msg(self, ctx: InvokeContext, msg: BufferedPacketMsg) -> None:
@@ -595,7 +631,8 @@ class GuestContract(Program):
         proof = NonMembershipProof.from_bytes(msg.proof_bytes)
         ctx.meter.charge_hash(len(msg.proof_bytes))
         self.ibc.timeout_packet(packet, proof, msg.proof_height)
-        ctx.emit("PacketTimedOut", sequence=packet.sequence,
+        ctx.emit("PacketTimedOut", guest=self.chain_id,
+                 sequence=packet.sequence,
                  channel=str(packet.source_channel))
 
     def _op_batch_exec(self, ctx: InvokeContext, reader: Reader) -> None:
@@ -651,7 +688,7 @@ class GuestContract(Program):
         trace.count("guest.batch.entries", count)
         trace.count("guest.batch.entries_failed", len(failures))
         trace.observe("guest.batch.size", count)
-        ctx.emit("BatchProcessed", total=count,
+        ctx.emit("BatchProcessed", guest=self.chain_id, total=count,
                  ok=count - len(failures), failures=tuple(failures))
 
     def _op_confirm_ack(self, ctx: InvokeContext, reader: Reader) -> None:
@@ -686,7 +723,8 @@ class GuestContract(Program):
             )
         released = self.staking.release_all(ctx.unix_time)
         self.halted = True
-        ctx.emit("SelfDestructed", released=released, idle_seconds=idle)
+        ctx.emit("SelfDestructed", guest=self.chain_id,
+                 released=released, idle_seconds=idle)
 
     # ------------------------------------------------------------------
     # IBC handshakes
@@ -697,7 +735,100 @@ class GuestContract(Program):
         msg = decode_handshake(msg_bytes)
         ctx.meter.charge_hash(len(msg_bytes))
         created = apply_handshake(self.ibc, msg)
-        ctx.emit("HandshakeStep", kind=type(msg).__name__, created=created)
+        ctx.emit("HandshakeStep", guest=self.chain_id,
+                 kind=type(msg).__name__, created=created)
+
+    # ------------------------------------------------------------------
+    # Sibling guests (the multi-guest fabric; docs/FABRIC.md)
+    # ------------------------------------------------------------------
+
+    def register_sibling(self, peer: "GuestContract"):
+        """Create a light client of another guest on the *same* host.
+
+        Deploy-time wiring, like :meth:`initialize`: on a real host this
+        is an instruction that records the peer's program id.  Trust is
+        host-verified (ICS-09-style localhost semantics): both guests
+        execute under the same host runtime, so the peer's finalisation
+        is directly readable state rather than something to re-verify
+        from signatures.  Returns the new client id.
+        """
+        from repro.fabric.sibling import SiblingGuestClient
+        if peer is self:
+            raise GuestError("a guest cannot register itself as a sibling")
+        client = SiblingGuestClient(peer)
+        client_id = self.ibc.create_client(client)
+        self.sibling_clients[client_id] = client
+        return client_id
+
+    def _op_sibling_update(self, ctx: InvokeContext, reader: Reader) -> None:
+        """Adopt a finalised sibling-guest height into its local client.
+
+        Idempotent on purpose: relayers prepend this to delivery bundles
+        (atomic update-then-prove), and a bundle must not fail because a
+        competing relayer adopted the height first.
+        """
+        self._require_initialized()
+        from repro.ibc.identifiers import ClientId
+        client_id = ClientId(reader.read_bytes().decode())
+        height = reader.read_varint()
+        reader.expect_end()
+        client = self.sibling_clients.get(client_id)
+        if client is None:
+            raise ProgramError(f"{client_id} is not a sibling-guest client")
+        ctx.meter.charge_hash(64)
+        ctx.meter.charge_trie_nodes(4)
+        fresh = client.adopt(height)
+        if fresh:
+            ctx.chain.sim.trace.count("guest.sibling.updates")
+        ctx.emit("SiblingClientUpdated", guest=self.chain_id,
+                 client=str(client_id), height=height, fresh=fresh)
+
+    def install_forwarding(self, hop_timeout_seconds: float = 600.0):
+        """Swap the transfer app for a packet-forwarding middleware.
+
+        Multi-hop routes (A → guest₁ → guest₂ → B) need each intermediate
+        guest to re-send an incoming transfer on its next-hop channel;
+        the middleware wraps the plain :class:`TransferApp` and does
+        exactly that (docs/FABRIC.md).  Idempotent.
+        """
+        from repro.fabric.forward import ForwardMiddleware
+        if self.forward is not None:
+            return self.forward
+        middleware = ForwardMiddleware(
+            self.transfer, send=self._forward_send,
+            clock=lambda: (self._current_ctx.unix_time
+                           if self._current_ctx is not None else 0.0),
+            hop_timeout_seconds=hop_timeout_seconds,
+        )
+        self.ibc.apps[self.transfer_port] = middleware
+        self.forward = middleware
+        return middleware
+
+    def _forward_send(self, port: str, channel: str, payload: bytes,
+                      timeout: float) -> Packet:
+        """Commit an onward (or unwind) packet from inside a recv/ack/
+        timeout instruction — the middleware's send hook.
+
+        No SEND_PACKET fee is collected: the hop was already paid for by
+        the original sender's fee on the first hop, and the forwarding
+        module owns no lamports to pay with.  Compute is still metered.
+        """
+        ctx = self._current_ctx
+        packet = self.ibc.send_packet(
+            PortId(port), ChannelId(channel), payload, timeout)
+        self._pending_packets.append(packet)
+        if ctx is not None:
+            ctx.meter.charge_hash(len(payload))
+            ctx.meter.charge_trie_nodes(16)
+            trace = ctx.chain.sim.trace
+            trace.count("guest.packets.forwarded")
+            trace.begin("packet.block_wait", key=packet.sequence,
+                        actor="guest")
+            ctx.emit("PacketCommitted", guest=self.chain_id,
+                     height_hint=self.head.height + 1,
+                     sequence=packet.sequence, channel=str(channel),
+                     forwarded=True)
+        return packet
 
     # ------------------------------------------------------------------
     # Fisherman evidence (§III-C)
@@ -739,7 +870,7 @@ class GuestContract(Program):
         # Reward the fisherman with half of the slashed stake.
         reward = slashed // 2
         ctx.accounts_db.transfer(self.treasury, ctx.payer, reward)
-        ctx.emit("ValidatorSlashed", validator=public_key,
+        ctx.emit("ValidatorSlashed", guest=self.chain_id, validator=public_key,
                  slashed=slashed, reward=reward, offence=offence, kind=kind)
 
     # ------------------------------------------------------------------

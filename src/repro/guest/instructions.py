@@ -39,6 +39,7 @@ class Op(enum.IntEnum):
     SELF_DESTRUCT = 17
     CLAIM_REWARDS = 18
     BATCH_EXEC = 19
+    SIBLING_UPDATE = 20
 
 
 # ---------------------------------------------------------------------------
@@ -56,6 +57,15 @@ def send_packet(port: str, channel: str, payload: bytes, timeout_timestamp: floa
 
 def generate_block() -> bytes:
     return bytes([Op.GENERATE_BLOCK])
+
+
+def sibling_update(client_id: str, height: int) -> bytes:
+    """Adopt a finalised height of a sibling guest into its local light
+    client (idempotent; prepended to cross-guest delivery bundles)."""
+    out = bytearray([Op.SIBLING_UPDATE])
+    out += encode_bytes(client_id.encode())
+    out += encode_varint(height)
+    return bytes(out)
 
 
 def sign_block(height: int, public_key: PublicKey, signature: Signature) -> bytes:

@@ -60,6 +60,11 @@ class Bank:
             amount for (_, d), amount in self._balances.items() if d == denom
         )
 
+    def balances(self) -> dict[tuple[str, str], int]:
+        """Snapshot of every (address, denom) -> amount entry (what the
+        fabric conservation checker sums over)."""
+        return dict(self._balances)
+
 
 @dataclass(frozen=True, slots=True)
 class FungibleTokenPacketData:

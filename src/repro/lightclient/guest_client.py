@@ -37,10 +37,14 @@ class GuestClientUpdate:
 class GuestLightClient(LightClient):
     """Stake-quorum verification of guest block headers."""
 
-    def __init__(self, scheme: SignatureScheme, genesis_epoch: Epoch) -> None:
+    def __init__(self, scheme: SignatureScheme, genesis_epoch: Epoch,
+                 chain_id: str = "guest") -> None:
         super().__init__()
         self.scheme = scheme
         self.epoch = genesis_epoch
+        #: The tracked guest's chain id (its namespace); must match or
+        #: the guest's validate_self_client rejects the handshake.
+        self.chain_id = chain_id
         #: height -> (state root, timestamp)
         self._consensus: dict[int, tuple[Hash, float]] = {}
         self._latest = 0
@@ -65,7 +69,7 @@ class GuestLightClient(LightClient):
         validated during connection handshakes (repro.ibc.self_client)."""
         from repro.ibc.self_client import SelfClientState
         return SelfClientState(
-            chain_id="guest",
+            chain_id=self.chain_id,
             latest_height=self._latest,
             trusted_set_hash=bytes(self.epoch.canonical_hash()),
         )

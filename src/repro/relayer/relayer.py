@@ -147,6 +147,12 @@ class Relayer:
         # Filled in by the handshakes (or wired directly by tests).
         self.guest_connection_id: Optional[ConnectionId] = None
         self.cp_connection_id: Optional[ConnectionId] = None
+        #: Every channel this relayer opened, both ends.  One link can
+        #: multiplex several channels (§III-A); the fabric filters (a
+        #: foreign guest's packets on a shared host) test membership
+        #: here, never just the latest channel.
+        self.guest_channels: set[tuple[PortId, ChannelId]] = set()
+        self.cp_channels: set[tuple[PortId, ChannelId]] = set()
         self.guest_channel: Optional[tuple[PortId, ChannelId]] = None
         self.cp_channel: Optional[tuple[PortId, ChannelId]] = None
 
@@ -214,13 +220,17 @@ class Relayer:
     # ==================================================================
 
     def _on_finalised_block(self, event: HostEvent) -> None:
+        if not self._is_our_guest_event(event):
+            return  # another guest on the same host (multi-guest fabric)
         if self.paused:
             # Missed while down; the catch-up sweep below re-relays.
             self._missed_finalised.append(event)
             return
         height = event.payload["height"]
         header = event.payload["header"]
-        packets = event.payload["packets"]
+        packets = tuple(
+            p for p in event.payload["packets"] if self._on_our_guest_channel(p)
+        )
         signatures = event.payload["signatures"]
         new_epoch = event.payload.get("new_epoch")
 
@@ -378,9 +388,15 @@ class Relayer:
             for event in block.events:
                 if event.name != "PacketReceived":
                     continue
+                if not self._is_our_guest_event(event):
+                    continue
                 packet = event.payload.get("packet")
                 ack_bytes = event.payload.get("ack_bytes")
                 if packet is None or ack_bytes is None:
+                    continue
+                if self.guest_channels and (
+                        packet.destination_port, packet.destination_channel
+                ) not in self.guest_channels:
                     continue
                 key = (event.payload["channel"], event.payload["sequence"])
                 if key in self._pending_guest_acks:
@@ -401,6 +417,8 @@ class Relayer:
         the scan skips them, so over-recovery costs nothing."""
         recovered = 0
         for packet, ack in self.counterparty.ibc.written_acks.values():
+            if not self._on_our_guest_channel(packet):
+                continue
             try:
                 outstanding = self.contract.ibc.store.contains_seq(
                     paths.commitment_prefix(packet.source_port,
@@ -430,6 +448,15 @@ class Relayer:
             index = base + offset
             if index in self._cp_done:
                 continue  # applied before a crash rewound the cursor
+            if self.cp_channels and (
+                    packet.source_port, packet.source_channel
+            ) not in self.cp_channels:
+                # Another link's packet (multi-guest fabric): not ours to
+                # deliver, but the completion frontier must pass it or a
+                # crash-rewind would stall on a foreign index forever.
+                self._cp_done.add(index)
+                self._advance_cp_frontier()
+                continue
             key = (str(packet.source_channel), packet.sequence)
             self._cp_index_by_key[key] = index
             self._queue_guest_work(
@@ -449,9 +476,50 @@ class Relayer:
         if index is None:
             return
         self._cp_done.add(index)
+        self._advance_cp_frontier()
+
+    def _advance_cp_frontier(self) -> None:
         while self._cp_frontier in self._cp_done:
             self._cp_done.discard(self._cp_frontier)
             self._cp_frontier += 1
+
+    @property
+    def guest_channel(self) -> Optional[tuple[PortId, ChannelId]]:
+        """The most recently opened guest channel end (legacy surface);
+        reads and direct test wiring both keep ``guest_channels`` in
+        sync so the fabric filters see every channel."""
+        return self._guest_channel
+
+    @guest_channel.setter
+    def guest_channel(self, value: Optional[tuple[PortId, ChannelId]]) -> None:
+        self._guest_channel = value
+        if value is not None:
+            self.guest_channels.add(value)
+
+    @property
+    def cp_channel(self) -> Optional[tuple[PortId, ChannelId]]:
+        return self._cp_channel
+
+    @cp_channel.setter
+    def cp_channel(self, value: Optional[tuple[PortId, ChannelId]]) -> None:
+        self._cp_channel = value
+        if value is not None:
+            self.cp_channels.add(value)
+
+    def _is_our_guest_event(self, event: HostEvent) -> bool:
+        """Host events carry a ``guest`` chain-id tag so N guests can
+        share one host without their relayers cross-firing."""
+        return event.payload.get("guest", self.contract.chain_id) \
+            == self.contract.chain_id
+
+    def _on_our_guest_channel(self, packet) -> bool:
+        """Is this guest-outbound packet on one of this relayer's
+        channels?  Before any channel opens (handshake phase) every
+        packet is carried, preserving the single-link behaviour."""
+        if not self.guest_channels:
+            return True
+        return (packet.source_port, packet.source_channel) \
+            in self.guest_channels
 
     def _op_already_applied(self, op: BatchOp) -> bool:
         """Idempotency check before a resubmission: did an earlier
@@ -713,11 +781,17 @@ class Relayer:
     def _on_guest_packet_received(self, event: HostEvent) -> None:
         """The guest wrote an ack; return it once a finalised guest block
         covers it (flushed inside :meth:`_on_finalised_block`)."""
+        if not self._is_our_guest_event(event):
+            return
         key = (event.payload["channel"], event.payload["sequence"])
         packet = event.payload.get("packet")
         ack_bytes = event.payload.get("ack_bytes")
         if packet is None or ack_bytes is None:
             return
+        if self.guest_channels and (
+                packet.destination_port, packet.destination_channel
+        ) not in self.guest_channels:
+            return  # another link's inbound packet; its relayer acks it
         self._pending_guest_acks[key] = (packet, Acknowledgement.from_bytes(ack_bytes))
 
     def _return_guest_acks(self, finalised_height: int) -> None:
@@ -880,6 +954,8 @@ class Relayer:
     # ==================================================================
 
     def _on_guest_handshake_step(self, event: HostEvent) -> None:
+        if not self._is_our_guest_event(event):
+            return
         waiter, self._handshake_waiter = self._handshake_waiter, None
         if waiter is not None:
             waiter(event.payload.get("created"), event.slot)

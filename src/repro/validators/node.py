@@ -82,6 +82,9 @@ class ValidatorNode:
         return None
 
     def _on_new_block(self, event: HostEvent) -> None:
+        if event.payload.get("guest", self.contract.chain_id) \
+                != self.contract.chain_id:
+            return  # a sibling guest's block (multi-guest fabric)
         if self.profile.silent:
             return
         if self.sim.now < self.join_time:

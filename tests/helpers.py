@@ -32,3 +32,192 @@ class StaticRootClient(LightClient):
     def consensus_timestamp(self, height: int) -> Optional[float]:
         entry = self._states.get(height)
         return entry[1] if entry else None
+
+
+# ======================================================================
+# Protocol-level multi-chain fabric (no simulation kernel)
+# ======================================================================
+
+from repro.fabric.forward import ForwardMiddleware  # noqa: E402
+from repro.ibc import commitment as paths  # noqa: E402
+from repro.ibc.apps.transfer import Bank, TransferApp  # noqa: E402
+from repro.ibc.channel import ChannelOrder  # noqa: E402
+from repro.ibc.host import IbcHost  # noqa: E402
+from repro.ibc.identifiers import ChannelId, PortId  # noqa: E402
+
+
+class ProtoChain:
+    """One chain of a :class:`ProtoFabric`: an IbcHost, a bank, ICS-20,
+    and (optionally) the forwarding middleware — everything needed to
+    exercise multi-hop semantics without the event-loop stack."""
+
+    def __init__(self, fabric: "ProtoFabric", name: str,
+                 forwarding: bool = False,
+                 hop_timeout_seconds: float = 600.0) -> None:
+        self.fabric = fabric
+        self.name = name
+        self.host = IbcHost(name, seal_receipts=True)
+        self.bank = Bank()
+        self.port = PortId("transfer")
+        self.app = TransferApp(self.bank, self.port)
+        self.forward: Optional[ForwardMiddleware] = None
+        if forwarding:
+            self.forward = ForwardMiddleware(
+                self.app, self._send_raw, lambda: fabric.now,
+                hop_timeout_seconds,
+            )
+            self.host.bind_port(self.port, self.forward)
+        else:
+            self.host.bind_port(self.port, self.app)
+        #: Committed packets awaiting relay (the fabric's pump drains it).
+        self.outbox: list = []
+
+    def _send_raw(self, port: str, channel: str, payload: bytes,
+                  timeout_timestamp: float):
+        packet = self.host.send_packet(PortId(port), ChannelId(channel),
+                                       payload, timeout_timestamp)
+        self.outbox.append(packet)
+        return packet
+
+    def send_transfer(self, channel: ChannelId, denom: str, amount: int,
+                      sender: str, receiver: str,
+                      timeout_timestamp: float = 0.0):
+        payload = self.app.make_payload(channel, denom, amount,
+                                        sender, receiver)
+        return self._send_raw(str(self.port), str(channel), payload,
+                              timeout_timestamp)
+
+
+class ProtoFabric:
+    """N IbcHosts linked pairwise through StaticRootClients.
+
+    A shared logical clock (``now``) drives timeout semantics and the
+    middleware's hop deadlines; ``sync()`` publishes every chain's
+    current store root to every client at a fresh height, stamped with
+    the clock.  ``pump()`` relays packets (and their acks) until the
+    fabric is quiescent — the deterministic, instant stand-in for the
+    full relayer stack.
+    """
+
+    def __init__(self) -> None:
+        self.chains: dict[str, ProtoChain] = {}
+        self.now = 0.0
+        self.height = 0
+        #: (holder chain, peer chain) -> client the holder runs of peer.
+        self.clients: dict[tuple[str, str], StaticRootClient] = {}
+        self.client_ids: dict[tuple[str, str], str] = {}
+        #: (chain, channel str) -> peer chain name, for pump dispatch.
+        self.channel_peer: dict[tuple[str, str], str] = {}
+        #: (pair) -> this chain's channel to the peer.
+        self.channels: dict[tuple[str, str], ChannelId] = {}
+
+    def add_chain(self, name: str, forwarding: bool = False,
+                  hop_timeout_seconds: float = 600.0) -> ProtoChain:
+        chain = ProtoChain(self, name, forwarding, hop_timeout_seconds)
+        self.chains[name] = chain
+        return chain
+
+    def sync(self) -> int:
+        self.height += 1
+        for (holder, peer), client in self.clients.items():
+            client.set_state(self.height,
+                             self.chains[peer].host.store.root_hash,
+                             self.now)
+        return self.height
+
+    def link(self, a: str, b: str) -> tuple[ChannelId, ChannelId]:
+        """Open a connection + transfer channel between two chains."""
+        ca, cb = self.chains[a], self.chains[b]
+        for holder, peer in ((a, b), (b, a)):
+            client = StaticRootClient()
+            self.clients[(holder, peer)] = client
+            self.client_ids[(holder, peer)] = \
+                self.chains[holder].host.create_client(client)
+        conn_a = ca.host.conn_open_init(self.client_ids[(a, b)],
+                                        self.client_ids[(b, a)])
+        h = self.sync()
+        proof = ca.host.store.prove(paths.connection_path(conn_a))
+        conn_b = cb.host.conn_open_try(self.client_ids[(b, a)],
+                                      self.client_ids[(a, b)],
+                                      conn_a, proof, h)
+        h = self.sync()
+        proof = cb.host.store.prove(paths.connection_path(conn_b))
+        ca.host.conn_open_ack(conn_a, conn_b, proof, h)
+        h = self.sync()
+        proof = ca.host.store.prove(paths.connection_path(conn_a))
+        cb.host.conn_open_confirm(conn_b, proof, h)
+
+        order = ChannelOrder.UNORDERED
+        chan_a = ca.host.chan_open_init(ca.port, conn_a, cb.port, order)
+        h = self.sync()
+        proof = ca.host.store.prove(paths.channel_path(ca.port, chan_a))
+        chan_b = cb.host.chan_open_try(cb.port, conn_b, ca.port, chan_a,
+                                       order, proof, h)
+        h = self.sync()
+        proof = cb.host.store.prove(paths.channel_path(cb.port, chan_b))
+        ca.host.chan_open_ack(ca.port, chan_a, chan_b, proof, h)
+        h = self.sync()
+        proof = ca.host.store.prove(paths.channel_path(ca.port, chan_a))
+        cb.host.chan_open_confirm(cb.port, chan_b, proof, h)
+
+        self.channels[(a, b)] = chan_a
+        self.channels[(b, a)] = chan_b
+        self.channel_peer[(a, str(chan_a))] = b
+        self.channel_peer[(b, str(chan_b))] = a
+        return chan_a, chan_b
+
+    # ------------------------------------------------------------------
+    # Relaying
+    # ------------------------------------------------------------------
+
+    def deliver(self, src: ProtoChain, packet) -> None:
+        """Relay one packet and immediately return its ack."""
+        dst = self.chains[self.channel_peer[(src.name,
+                                             str(packet.source_channel))]]
+        h = self.sync()
+        proof = src.host.store.prove_seq(
+            paths.commitment_prefix(packet.source_port,
+                                    packet.source_channel),
+            packet.sequence,
+        )
+        ack = dst.host.recv_packet(packet, proof, h, local_time=self.now)
+        h = self.sync()
+        ack_proof = dst.host.store.prove_seq(
+            paths.ack_prefix(packet.destination_port,
+                             packet.destination_channel),
+            packet.sequence,
+        )
+        src.host.acknowledge_packet(packet, ack, ack_proof, h)
+
+    def expire(self, src: ProtoChain, packet) -> None:
+        """Time a packet out on its source (proves non-receipt)."""
+        dst = self.chains[self.channel_peer[(src.name,
+                                             str(packet.source_channel))]]
+        h = self.sync()
+        absence = dst.host.store.prove_seq_absence(
+            paths.receipt_prefix(packet.destination_port,
+                                 packet.destination_channel),
+            packet.sequence,
+        )
+        src.host.timeout_packet(packet, absence, h)
+
+    def pump(self, max_rounds: int = 64,
+             drop=None) -> int:
+        """Relay until quiescent.  ``drop(chain, packet)`` — when it
+        returns True the packet is left committed but never delivered
+        (the caller times it out later via :meth:`expire`).  Returns the
+        number of packets delivered."""
+        delivered = 0
+        for _ in range(max_rounds):
+            batch = []
+            for chain in self.chains.values():
+                while chain.outbox:
+                    batch.append((chain, chain.outbox.pop(0)))
+            if not batch:
+                return delivered
+            for src, packet in batch:
+                if drop is not None and drop(src, packet):
+                    continue
+                self.deliver(src, packet)
+                delivered += 1
+        raise AssertionError(f"fabric still busy after {max_rounds} rounds")

@@ -1,0 +1,276 @@
+"""Forwarding middleware: route codec, hop semantics, and the
+differential conformance suite (multi-hop ≡ single-hop).
+
+The differential property: for any seeded sequence of transfers, a
+route A → M → B must produce the same end-ledger balances (per base
+denom) and the same exactly-once receipt discipline as sending the
+same sequence over a direct A → B channel.  Timed-out transfers must
+refund the sender identically in both worlds — in the multi-hop world
+the hop-2 timeout unwinds through M's middleware rather than refunding
+at the origin directly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IbcError
+from repro.fabric.conservation import ConservationChecker, base_denom
+from repro.fabric.forward import (
+    FORWARD_PREFIX,
+    ForwardRoute,
+    forward_receiver,
+    parse_forward,
+)
+from repro.ibc import commitment as paths
+from repro.ibc.identifiers import ChannelId
+
+from tests.helpers import ProtoFabric
+
+SENDERS = ["alice", "amara", "ayaka"]
+RECEIVERS = ["bob", "boris", "bala"]
+
+
+class TestRouteCodec:
+    def test_plain_receiver_passes_through(self):
+        assert parse_forward("bob") is None
+
+    def test_single_hop_roundtrip(self):
+        encoded = forward_receiver([("transfer", "channel-3")], "bob")
+        assert encoded == "fwd:transfer/channel-3|bob"
+        route = parse_forward(encoded)
+        assert route == ForwardRoute("transfer", "channel-3", "bob")
+
+    def test_nested_route_decodes_hop_by_hop(self):
+        encoded = forward_receiver(
+            [("transfer", "channel-1"), ("transfer", "channel-9")], "bob")
+        first = parse_forward(encoded)
+        assert first.channel == "channel-1"
+        second = parse_forward(first.next_receiver)
+        assert second.channel == "channel-9"
+        assert second.next_receiver == "bob"
+
+    @pytest.mark.parametrize("bad", [
+        "fwd:transfer|bob",        # no channel
+        "fwd:transfer/channel-0",  # no rest
+        "fwd:/channel-0|bob",      # no port
+        "fwd:transfer/|bob",       # empty channel
+    ])
+    def test_malformed_routes_rejected(self, bad):
+        with pytest.raises(IbcError):
+            parse_forward(bad)
+
+    def test_prefix_constant_matches_codec(self):
+        assert forward_receiver(
+            [("p", "c")], "r").startswith(FORWARD_PREFIX)
+
+
+def three_chain_fabric(hop_timeout=600.0):
+    """A --- M(forwarding) --- B."""
+    fabric = ProtoFabric()
+    fabric.add_chain("a")
+    fabric.add_chain("m", forwarding=True, hop_timeout_seconds=hop_timeout)
+    fabric.add_chain("b")
+    fabric.link("a", "m")
+    fabric.link("m", "b")
+    return fabric
+
+
+class TestForwardHops:
+    def test_two_hop_delivery_and_denom_nesting(self):
+        fabric = three_chain_fabric()
+        a, m, b = fabric.chains["a"], fabric.chains["m"], fabric.chains["b"]
+        a.bank.mint("alice", "uatom", 1_000)
+        receiver = forward_receiver(
+            [("transfer", str(fabric.channels[("m", "b")]))], "bob")
+        a.send_transfer(fabric.channels[("a", "m")], "uatom", 400,
+                        "alice", receiver)
+        fabric.pump()
+        chan_ma = fabric.channels[("m", "a")]
+        chan_bm = fabric.channels[("b", "m")]
+        nested = f"transfer/{chan_bm}/transfer/{chan_ma}/uatom"
+        assert b.bank.balance("bob", nested) == 400
+        assert m.forward.forwards_started == 1
+        assert m.forward.forwards_settled == 1
+        assert m.forward.unwinds == 0
+        # The funds transit the fwd: address, none remain there.
+        assert m.bank.balance(receiver, f"transfer/{chan_ma}/uatom") == 0
+
+    def test_hop_scoped_ack_settles_origin_before_final_delivery(self):
+        """Hop 1's ack arrives when M commits the onward send, not when
+        B receives — the origin's commitment clears while the onward
+        packet is still in flight."""
+        fabric = three_chain_fabric()
+        a, m = fabric.chains["a"], fabric.chains["m"]
+        a.bank.mint("alice", "uatom", 500)
+        receiver = forward_receiver(
+            [("transfer", str(fabric.channels[("m", "b")]))], "bob")
+        packet = a.send_transfer(fabric.channels[("a", "m")], "uatom", 100,
+                                 "alice", receiver)
+        # Deliver ONLY hop 1 (drop the onward hop for now).
+        fabric.pump(drop=lambda src, p: src is m)
+        assert not a.host.store.contains_seq(
+            paths.commitment_prefix(packet.source_port,
+                                    packet.source_channel),
+            packet.sequence,
+        )
+        assert len(m.outbox) == 0  # popped by pump, though dropped
+        assert m.forward.forwards_started == 1
+        assert m.forward.forwards_settled == 0
+
+    def test_unknown_forward_port_errors_without_moving_funds(self):
+        fabric = three_chain_fabric()
+        a = fabric.chains["a"]
+        a.bank.mint("alice", "uatom", 100)
+        a.send_transfer(fabric.channels[("a", "m")], "uatom", 100,
+                        "alice", "fwd:bogus/channel-7|bob")
+        fabric.pump()
+        # Error ack refunded the origin sender in full.
+        assert a.bank.balance("alice", "uatom") == 100
+        checker = ConservationChecker(
+            {name: chain.bank for name, chain in fabric.chains.items()})
+        assert checker.check().ok
+
+    def test_forward_to_nonexistent_channel_reverses_recv(self):
+        fabric = three_chain_fabric()
+        a, m = fabric.chains["a"], fabric.chains["m"]
+        a.bank.mint("alice", "uatom", 100)
+        a.send_transfer(fabric.channels[("a", "m")], "uatom", 100,
+                        "alice", "fwd:transfer/channel-77|bob")
+        fabric.pump()
+        assert a.bank.balance("alice", "uatom") == 100
+        assert m.bank.total_supply(
+            f"transfer/{fabric.channels[('m', 'a')]}/uatom") == 0
+
+    def test_hop2_timeout_unwinds_to_origin_sender(self):
+        fabric = three_chain_fabric(hop_timeout=600.0)
+        a, m = fabric.chains["a"], fabric.chains["m"]
+        a.bank.mint("alice", "uatom", 300)
+        receiver = forward_receiver(
+            [("transfer", str(fabric.channels[("m", "b")]))], "bob")
+        a.send_transfer(fabric.channels[("a", "m")], "uatom", 300,
+                        "alice", receiver)
+        dropped = []
+        fabric.pump(drop=lambda src, p: src is m and not dropped
+                    and (dropped.append(p) or True))
+        assert len(dropped) == 1
+        fabric.now += 700.0  # past the hop deadline
+        fabric.expire(m, dropped[0])
+        fabric.pump()  # the unwind return transfer
+        assert a.bank.balance("alice", "uatom") == 300
+        assert m.forward.unwinds == 1
+        checker = ConservationChecker(
+            {name: chain.bank for name, chain in fabric.chains.items()})
+        assert checker.check().ok
+
+
+# ======================================================================
+# The differential conformance suite (satellite 1)
+# ======================================================================
+
+def _receiver_balances(chain) -> dict[tuple[str, str], int]:
+    """(address, base denom) -> total, escrows excluded."""
+    totals: dict[tuple[str, str], int] = {}
+    for (address, denom), amount in chain.bank.balances().items():
+        if address.startswith("escrow/"):
+            continue
+        key = (address, base_denom(denom))
+        totals[key] = totals.get(key, 0) + amount
+    return totals
+
+
+def _run_multi_hop(seed: int, ops) -> tuple[dict, dict, int]:
+    """Route every op A → M → B; returns (A balances, B balances,
+    receipts on B)."""
+    fabric = three_chain_fabric()
+    a, m, b = fabric.chains["a"], fabric.chains["m"], fabric.chains["b"]
+    for sender in SENDERS:
+        a.bank.mint(sender, "uatom", 100_000)
+    chan_am = fabric.channels[("a", "m")]
+    chan_mb = fabric.channels[("m", "b")]
+    for amount, sender, receiver, delivered in ops:
+        encoded = forward_receiver([("transfer", str(chan_mb))], receiver)
+        a.send_transfer(chan_am, "uatom", amount, sender, encoded)
+        if delivered:
+            fabric.pump()
+        else:
+            # Deliver hop 1; drop the onward hop, expire it, unwind.
+            dropped = []
+            fabric.pump(drop=lambda src, p: src is m and not dropped
+                        and (dropped.append(p) or True))
+            fabric.now += m.forward.hop_timeout_seconds + 100.0
+            fabric.expire(m, dropped[0])
+            fabric.pump()
+    checker = ConservationChecker(
+        {name: chain.bank for name, chain in fabric.chains.items()})
+    assert checker.check().ok, checker.check().failures
+    assert not m.forward._forwards, "unsettled hops remain"
+    return (_receiver_balances(a), _receiver_balances(b),
+            b.host.counters.packets_received)
+
+
+def _run_single_hop(seed: int, ops) -> tuple[dict, dict, int]:
+    """The reference world: the same ops over a direct A → B channel."""
+    fabric = ProtoFabric()
+    a = fabric.add_chain("a")
+    b = fabric.add_chain("b")
+    fabric.link("a", "b")
+    for sender in SENDERS:
+        a.bank.mint(sender, "uatom", 100_000)
+    chan_ab = fabric.channels[("a", "b")]
+    for amount, sender, receiver, delivered in ops:
+        timeout = 0.0 if delivered else fabric.now + 600.0
+        packet = a.send_transfer(chan_ab, "uatom", amount, sender,
+                                 receiver, timeout)
+        if delivered:
+            fabric.pump()
+        else:
+            a.outbox.remove(packet)
+            fabric.now += 700.0
+            fabric.expire(a, packet)
+    checker = ConservationChecker(
+        {name: chain.bank for name, chain in fabric.chains.items()})
+    assert checker.check().ok, checker.check().failures
+    return (_receiver_balances(a), _receiver_balances(b),
+            b.host.counters.packets_received)
+
+
+def _sequence(seed: int):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(rng.randint(3, 8)):
+        ops.append((
+            rng.randint(1, 500),
+            rng.choice(SENDERS),
+            rng.choice(RECEIVERS),
+            rng.random() > 0.25,  # ~1 in 4 transfers times out
+        ))
+    return ops
+
+
+class TestDifferentialConformance:
+    """Multi-hop must be observationally equivalent to single-hop."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_multi_hop_equals_single_hop(self, seed):
+        ops = _sequence(seed)
+        multi_a, multi_b, multi_receipts = _run_multi_hop(seed, ops)
+        single_a, single_b, single_receipts = _run_single_hop(seed, ops)
+
+        delivered = [op for op in ops if op[3]]
+        # Identical end-ledger balances, per (address, base denom).
+        assert multi_a == single_a, f"seed {seed}: origin ledgers diverge"
+        assert multi_b == single_b, f"seed {seed}: destination ledgers diverge"
+        # Exactly-once receipts on the final chain: one per delivered op.
+        assert single_receipts == len(delivered)
+        assert multi_receipts == len(delivered), (
+            f"seed {seed}: {multi_receipts} receipts on B for "
+            f"{len(delivered)} delivered transfers")
+        # And the delivered value actually arrived.
+        expected: dict[tuple[str, str], int] = {}
+        for amount, _, receiver, ok in ops:
+            if ok:
+                key = (receiver, "uatom")
+                expected[key] = expected.get(key, 0) + amount
+        arrived = {k: v for k, v in multi_b.items() if k[0] in RECEIVERS}
+        assert arrived == expected
