@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint bench figures examples cluster-smoke chaos-smoke \
-	wallclock-smoke profile-soak fabric-smoke all
+	wallclock-smoke profile-soak fabric-smoke state-smoke all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -46,6 +46,12 @@ wallclock-smoke:
 # (docs/FABRIC.md).  Writes BENCH_topology_smoke.json.
 fabric-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments topology-smoke
+
+# Sealing-scheduler comparison at smoke scale: every scheduler must
+# land on the same root; rent-aware must hold its live-byte budget
+# (docs/STATE.md).  Writes BENCH_state_smoke.json.
+state-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments state-smoke
 
 # cProfile the soak workload and print the top of the profile.
 profile-soak:

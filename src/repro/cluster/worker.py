@@ -116,11 +116,32 @@ def run_throughput_point_task(task: dict, run_dir: str,
     return record
 
 
+def run_state_point_task(task: dict, run_dir: str,
+                         checkpoint_every_seconds: float,
+                         collect_trace: bool,
+                         notify: Notify,
+                         die_after_slices: Optional[int] = None) -> dict:
+    """One ``state-sweep`` scheduler point (batched store replay).
+
+    The replay has no simulator world to checkpoint and runs in
+    seconds-to-minutes, so resumability is at task granularity: a
+    killed worker reruns the point, which is deterministic.
+    """
+    from repro.experiments.state import StatePointConfig, run_state_point
+
+    index = task["index"]
+    record = run_state_point(StatePointConfig(**task["config"]))
+    _atomic_write_text(result_path(run_dir, index),
+                       json.dumps(record, sort_keys=True))
+    return record
+
+
 #: Task kinds a worker can execute.  Every runner takes
 #: ``(task, run_dir, checkpoint_every_seconds, collect_trace, notify,
 #: die_after_slices)`` and leaves ``task-<index>.json`` behind.
 TASK_KINDS: dict[str, Callable[..., dict]] = {
     "throughput-point": run_throughput_point_task,
+    "state-point": run_state_point_task,
 }
 
 

@@ -10,8 +10,10 @@ Valid targets: fig2 fig3 fig4 fig5 fig6 table1 recv storage all —
 plus the operational targets ``throughput-smoke`` (CI assertions),
 ``cluster`` (sharded multi-process sweep), ``replay-audit``
 (checkpoint/restore/replay divergence check), ``chaos-soak`` (the
-docs/CHAOS.md fault storm with its fault-free twin) and ``chaos-smoke``
-(the scaled-down asserting variant CI runs).
+docs/CHAOS.md fault storm with its fault-free twin), ``chaos-smoke``
+(the scaled-down asserting variant CI runs), ``state-sweep`` (the
+multi-million-packet sealing-scheduler comparison of docs/STATE.md)
+and ``state-smoke`` (its CI-scale asserting variant).
 """
 
 from __future__ import annotations
@@ -31,7 +33,8 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
 _EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit",
                   "chaos-soak", "chaos-smoke", "profile-soak",
-                  "wallclock-smoke", "topology-sweep", "topology-smoke"}
+                  "wallclock-smoke", "topology-sweep", "topology-smoke",
+                  "state-sweep", "state-smoke"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -216,6 +219,41 @@ def main(argv: list[str] | None = None) -> int:
             print("\n\n".join(blocks))
             for failure in failures:
                 print(f"TOPOLOGY FAILURE: {failure}", file=sys.stderr)
+            return 1
+
+    if targets & {"state-sweep", "state-smoke"}:
+        import json
+
+        from repro.experiments.state import (
+            check_state, render_state, run_state_smoke, run_state_sweep,
+        )
+        smoke = "state-smoke" in targets
+        started = time.time()
+        print("Running the state sweep"
+              + (" (smoke scale)" if smoke else "") + "...", file=sys.stderr)
+        if smoke:
+            record = run_state_smoke(seed=args.seed)
+        else:
+            cluster = None
+            if args.cluster_workers is not None:
+                from repro.cluster import ClusterConfig
+
+                cluster = ClusterConfig(
+                    workers=args.cluster_workers,
+                    run_dir=args.run_dir,
+                    checkpoint_every_seconds=args.checkpoint_every,
+                )
+            record = run_state_sweep(cluster=cluster)
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_state(record))
+        suffix = "_smoke" if smoke else ""
+        with open(f"BENCH_state{suffix}.json", "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        failures = check_state(record)
+        if failures:
+            print("\n\n".join(blocks))
+            for failure in failures:
+                print(f"STATE FAILURE: {failure}", file=sys.stderr)
             return 1
 
     if "profile-soak" in targets:

@@ -70,8 +70,20 @@ class SealingAblationResults:
 
     @property
     def growth_ratio(self) -> float:
-        """Plain-trie final size over sealable final size."""
-        return self.plain_final / max(1, self.sealed_final)
+        """Plain-trie final size over sealable final size.
+
+        An empty trajectory has no ratio (the run recorded nothing) and
+        a zero sealed size means unbounded advantage — both were
+        silently masked by a ``max(1, ...)`` guard before; now the
+        first raises and the second is an explicit ``inf``.
+        """
+        if not self.sealed_bytes_trajectory or not self.plain_bytes_trajectory:
+            raise ValueError(
+                "growth_ratio undefined: no trajectory samples recorded"
+            )
+        if self.sealed_final == 0:
+            return float("inf")
+        return self.plain_final / self.sealed_final
 
 
 def sealing_ablation(packets: int = 5_000, live_window: int = 64,
@@ -96,6 +108,9 @@ def sealing_ablation(packets: int = 5_000, live_window: int = 64,
         behind = seq - live_window
         if behind >= 0:
             sealed_trie.seal(key(behind))
+        # Sample on the interval AND at the last packet, so the final
+        # state is always recorded even when ``packets`` is not a
+        # multiple of ``sample_every``.
         if seq % sample_every == 0 or seq == packets - 1:
             results.sealed_bytes_trajectory.append(sealed_trie.storage_bytes())
             results.plain_bytes_trajectory.append(plain_trie.storage_bytes())

@@ -93,7 +93,8 @@ class GuestContract(Program):
 
     def __init__(self, config: GuestConfig, counterparty_chain_id: str,
                  program_id: Optional[Address] = None,
-                 namespace: str = "guest") -> None:
+                 namespace: str = "guest",
+                 seal_scheduler=None) -> None:
         self.config = config
         #: The guest's chain id *and* its host account namespace.  Every
         #: address the contract owns derives from it, so N guests on one
@@ -104,7 +105,10 @@ class GuestContract(Program):
         self.treasury = Address.derive(f"{namespace}-treasury")
 
         self.store = ProvableStore()
-        self.ibc = IbcHost(namespace, store=self.store, seal_receipts=True)
+        # Sealing policy is per-operator economics (root-neutral); the
+        # default eager policy matches the paper's "seal immediately".
+        self.ibc = IbcHost(namespace, store=self.store, seal_receipts=True,
+                           seal_scheduler=seal_scheduler)
         self.bank = Bank()
         self.transfer_port = PortId("transfer")
         self.transfer = TransferApp(self.bank, self.transfer_port)
@@ -143,6 +147,8 @@ class GuestContract(Program):
         self.sibling_clients: dict = {}
         #: The forwarding middleware, once installed (multi-hop routing).
         self.forward = None
+        #: Optional state-sync journal (see :meth:`attach_state_journal`).
+        self.state_journal = None
         self._current_ctx: Optional[InvokeContext] = None
 
     @property
@@ -251,6 +257,8 @@ class GuestContract(Program):
         self.blocks.append(genesis)
         self._packets_by_height[0] = ()
         self._state_views[0] = self.store.snapshot()
+        if self.state_journal is not None:
+            self.state_journal.mark_height(0)
         self.initialized = True
 
     def _adopt_epoch(self, epoch: Epoch) -> None:
@@ -352,6 +360,8 @@ class GuestContract(Program):
             trace.begin("packet.quorum_wait", key=packet.sequence, actor="guest")
         self._pending_packets = []
         self._state_views[header.height] = self.store.snapshot()
+        if self.state_journal is not None:
+            self.state_journal.mark_height(header.height)
         if next_epoch is not None:
             self._adopt_epoch(next_epoch)
             self.current_epoch = next_epoch
@@ -914,6 +924,17 @@ class GuestContract(Program):
         if view is None:
             raise UnknownBlockError(f"no state view for height {height}")
         return view
+
+    def attach_state_journal(self, journal) -> None:
+        """Record every store mutation into ``journal`` (a
+        :class:`repro.state.sync.StateJournal`), watermarked per block,
+        so new validators can state-sync from a snapshot instead of
+        replaying history.  Attach before ``initialize`` to have a
+        watermark for every height."""
+        if self.state_journal is not None:
+            raise GuestError("a state journal is already attached")
+        self.state_journal = journal
+        self.store.trie.attach_mirror(journal)
 
     def packets_in_block(self, height: int) -> tuple[Packet, ...]:
         return self._packets_by_height.get(height, ())

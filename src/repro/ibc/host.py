@@ -43,6 +43,7 @@ from repro.ibc.client import LightClient
 from repro.ibc.connection import ConnectionEnd, ConnectionState
 from repro.ibc.identifiers import ChannelId, ClientId, ConnectionId, PortId
 from repro.ibc.packet import RECEIPT_VALUE, Acknowledgement, Packet
+from repro.state.scheduler import EagerScheduler, SealScheduler
 from repro.trie.proof import MembershipProof, NonMembershipProof
 from repro.trie.store import ProvableStore, path_key, seq_key
 
@@ -121,10 +122,17 @@ class IbcHost:
     """The per-chain IBC module."""
 
     def __init__(self, chain_id: str, store: Optional[ProvableStore] = None,
-                 seal_receipts: bool = False) -> None:
+                 seal_receipts: bool = False,
+                 seal_scheduler: Optional["SealScheduler"] = None) -> None:
         self.chain_id = chain_id
         self.store = store if store is not None else ProvableStore()
-        self.seal_receipts = seal_receipts
+        if seal_scheduler is None and seal_receipts:
+            seal_scheduler = EagerScheduler()
+        #: Policy deciding *when* safe entries actually get sealed; the
+        #: lagged-sealing rule below decides *which* are safe.  Sealing
+        #: is root-neutral, so the policy never affects consensus.
+        self.seal_scheduler = seal_scheduler
+        self.seal_receipts = seal_scheduler is not None
         self.counters = IbcCounters()
         self.clients: dict[ClientId, LightClient] = {}
         self.connections: dict[ConnectionId, ConnectionEnd] = {}
@@ -547,7 +555,8 @@ class IbcHost:
         if self.seal_receipts:
             tracker = self._receipt_tracker.setdefault(destination, _SequenceTracker())
             for sealable in tracker.record(packet.sequence):
-                self.store.seal_seq(receipt_prefix, sealable)
+                self.seal_scheduler.offer(receipt_prefix, sealable)
+            self._drain_seals()
 
         app = self.apps[packet.destination_port]
         ack = app.on_recv(packet)
@@ -646,10 +655,29 @@ class IbcHost:
             s for s in confirmed
             if s in tracker.unsealed and s + 1 < tracker.watermark
         )
+        ack_prefix = paths.ack_prefix(port_id, channel_id)
         for sequence in ready:
-            self.store.seal_seq(paths.ack_prefix(port_id, channel_id), sequence)
+            self.seal_scheduler.offer(ack_prefix, sequence)
             tracker.unsealed.remove(sequence)
             confirmed.remove(sequence)
+        self._drain_seals()
+
+    def _drain_seals(self) -> None:
+        """Apply every seal the scheduler releases.
+
+        Loops so budget-driven policies can re-check the store between
+        batches; each non-empty batch shrinks the scheduler's queue, so
+        the loop terminates.
+        """
+        scheduler = self.seal_scheduler
+        if scheduler is None:
+            return
+        while True:
+            due = scheduler.drain(self.store)
+            if not due:
+                return
+            for prefix, sequence in due:
+                self.store.seal_seq(prefix, sequence)
 
     def _open_channel(self, port_id: PortId, channel_id: ChannelId,
                       allow_closed: bool = False) -> ChannelEnd:

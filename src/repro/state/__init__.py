@@ -1,0 +1,30 @@
+"""State growth economics: sealing schedulers and snapshot state-sync.
+
+The sealable trie (§III-A) bounds the guest's storage, but *when* to
+seal is an economic choice: sealing early minimizes host rent, sealing
+late amortizes the seal writes and keeps entries queryable longer.
+This package makes the policy pluggable (:mod:`repro.state.scheduler`)
+and adds the operational counterpart of bounded state — a validator
+that joins mid-run from a sealed-trie snapshot instead of replaying
+history (:mod:`repro.state.sync`).
+"""
+
+from repro.state.scheduler import (
+    EagerScheduler,
+    LazyScheduler,
+    RentAwareScheduler,
+    SealScheduler,
+    scheduler_from_name,
+)
+from repro.state.sync import ReplayMirror, StateJournal, SyncedReplica
+
+__all__ = [
+    "EagerScheduler",
+    "LazyScheduler",
+    "RentAwareScheduler",
+    "SealScheduler",
+    "scheduler_from_name",
+    "ReplayMirror",
+    "StateJournal",
+    "SyncedReplica",
+]

@@ -1,0 +1,164 @@
+"""Snapshot state-sync: join a running guest without replaying history.
+
+IBC-network validators bootstrap from state snapshots rather than
+genesis replay; the guest's sealed trie makes that cheap — a snapshot
+is the canonical :func:`~repro.trie.serialize.dump_store` bytes, sealed
+stubs included, and its one root hash is checkable against the
+finalized light-client state.  The flow:
+
+1. The running contract records every store mutation in a
+   :class:`StateJournal` (attached as a trie mirror), with a watermark
+   per generated block height.
+2. A joiner takes the snapshot of a finalized height ``H``, loads it,
+   and **verifies the loaded root against the light client's finalized
+   state root for ``H``** — the snapshot is self-proving: the bytes are
+   the preimage of the committed root.
+3. It replays the journal's ops since ``H`` and attaches live; from
+   then on every mutation is applied in lockstep, so its roots (and the
+   proofs it serves) are bit-identical to a node that replayed the full
+   history.
+
+Sealing is part of the op stream, so a joiner reproduces the exact
+storage shape too, not just the commitment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.trie.serialize import dump_store, load_store
+from repro.trie.store import ProvableStore
+
+
+class StateSyncError(ReproError):
+    """Snapshot verification or replay failed."""
+
+
+@dataclass(frozen=True)
+class TrieOp:
+    """One store mutation, as the journal records it."""
+
+    kind: str          # "set" | "delete" | "seal"
+    key: bytes
+    value: bytes = b""
+
+
+class StateJournal:
+    """Trie mirror that logs every mutation with height watermarks.
+
+    The watermark for height ``H`` is the op-count at the instant block
+    ``H`` was generated — i.e. replaying ``ops[:watermark]`` onto an
+    empty store reproduces exactly the state committed by ``H``'s
+    ``state_root``.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[TrieOp] = []
+        self._marks: dict[int, int] = {}
+
+    # -- trie mirror interface -----------------------------------------
+    def on_op(self, kind: str, key: bytes, value: bytes = b"") -> None:
+        self.ops.append(TrieOp(kind, key, value))
+
+    # -- height bookkeeping --------------------------------------------
+    def mark_height(self, height: int) -> None:
+        self._marks[height] = len(self.ops)
+
+    def watermark(self, height: int) -> int:
+        try:
+            return self._marks[height]
+        except KeyError:
+            raise StateSyncError(
+                f"journal has no watermark for height {height}"
+            ) from None
+
+    def ops_since(self, height: int) -> List[TrieOp]:
+        return self.ops[self.watermark(height):]
+
+
+class ReplayMirror:
+    """Trie mirror that applies each mutation to a replica store."""
+
+    def __init__(self, store: ProvableStore) -> None:
+        self.store = store
+
+    def on_op(self, kind: str, key: bytes, value: bytes = b"") -> None:
+        trie = self.store.trie
+        if kind == "set":
+            trie.set(key, value)
+        elif kind == "delete":
+            trie.delete(key)
+        elif kind == "seal":
+            trie.seal(key)
+        else:  # pragma: no cover - journal kinds are closed
+            raise StateSyncError(f"unknown journal op kind {kind!r}")
+
+
+class SyncedReplica:
+    """A replica store kept in lockstep with a source trie.
+
+    Build one with :meth:`full_replay` (baseline: follows from genesis)
+    or :meth:`join_from_snapshot` (state-sync: verifies a snapshot of a
+    finalized height, catches up from the journal, then follows live).
+    """
+
+    def __init__(self, store: ProvableStore, synced_from: Optional[int]) -> None:
+        self.store = store
+        #: Height whose snapshot seeded this replica (None = genesis).
+        self.synced_from = synced_from
+        self._mirror = ReplayMirror(store)
+
+    @property
+    def root_hash(self):
+        return self.store.root_hash
+
+    @classmethod
+    def full_replay(cls, source_store: ProvableStore) -> "SyncedReplica":
+        """Clone ``source_store`` and follow every later mutation live.
+
+        This is the "always-online" baseline a state-synced joiner must
+        match bit for bit: attach it before the run's traffic and it
+        replays the full history as it happens.  The bootstrap clone
+        goes through :func:`dump_store`/:func:`load_store`, so sealed
+        stubs survive exactly.
+        """
+        replica = cls(load_store(dump_store(source_store)), synced_from=None)
+        source_store.trie.attach_mirror(replica._mirror)
+        return replica
+
+    @classmethod
+    def join_from_snapshot(cls, contract, client, height: int,
+                           journal: StateJournal) -> "SyncedReplica":
+        """State-sync a new replica from ``contract``'s snapshot at
+        ``height``, verified against ``client``'s finalized root.
+
+        ``client`` is a finalized-header source with
+        ``consensus_root(height)`` (e.g.
+        :class:`repro.lightclient.guest_client.GuestLightClient`);
+        verification fails if the height is not finalized there or the
+        snapshot bytes do not hash to its committed state root.
+        """
+        trusted_root = client.consensus_root(height)
+        if trusted_root is None:
+            raise StateSyncError(
+                f"height {height} is not finalized in the light client"
+            )
+        snapshot = dump_store(contract.state_view(height))
+        store = load_store(snapshot)
+        if bytes(store.root_hash) != bytes(trusted_root):
+            raise StateSyncError(
+                f"snapshot root {store.root_hash.hex()} does not match the "
+                f"finalized state root at height {height}"
+            )
+        replica = cls(store, synced_from=height)
+        # Catch up to the source's present, then follow live.  The sim
+        # is single-threaded, so no op can interleave between these.
+        for op in journal.ops_since(height):
+            replica._mirror.on_op(op.kind, op.key, op.value)
+        contract.store.trie.attach_mirror(replica._mirror)
+        return replica
+
+    def detach(self, source_trie) -> None:
+        source_trie.detach_mirror(self._mirror)

@@ -20,11 +20,21 @@ caches: every node memoizes its subtree's ``(storage bytes, live nodes,
 sealed stubs)`` totals, so the per-execution state-budget check reads one
 cached tuple at the root instead of walking the whole trie — the walk
 that used to dominate the soak profile (docs/PERFORMANCE.md).
+
+Leaf hashes commit to the *hash* of the value (:func:`value_commitment`)
+rather than the raw bytes.  That keeps sealed stubs *re-pathable*: a stub
+remembers its remaining key path plus the fixed-size core commitment, so
+when a delete strands it as a branch's lone occupant the trie can merge
+the branch nibble into the stub's path and recompute its hash — exactly
+what a fresh rebuild of the same mapping would produce.  Without the
+indirection the stub's hash pins the pruned value bytes and the shape can
+never be normalized (the stranded-stub divergence documented in
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.crypto.hashing import Hash, hash_concat
 from repro.trie.nibbles import Nibbles, encode_nibbles, encoded_nibbles_len
@@ -32,6 +42,8 @@ from repro.trie.nibbles import Nibbles, encode_nibbles, encoded_nibbles_len
 _TAG_LEAF = b"\x00"
 _TAG_EXTENSION = b"\x01"
 _TAG_BRANCH = b"\x02"
+_TAG_VALUE = b"\x04"
+_NO_VALUE = b"\xff"
 
 #: Accounted per-node byte overhead (tag + bookkeeping), mirroring the
 #: on-chain layout the paper's deployment uses inside its 10 MiB account.
@@ -41,6 +53,39 @@ HASH_BYTES = 32
 Node = Union["LeafNode", "ExtensionNode", "BranchNode", "SealedNode"]
 
 _ZERO = Hash.zero()
+
+
+# ---------------------------------------------------------------------------
+# Canonical node hashing
+#
+# These are *the* hash formulas of the commitment scheme; proof
+# verification (repro.trie.proof) folds the same functions bottom-up, so
+# they live here rather than being duplicated per call site.
+# ---------------------------------------------------------------------------
+
+def value_commitment(value: bytes) -> Hash:
+    """The fixed-size commitment a leaf hash binds instead of raw bytes.
+
+    Sealing keeps only this 32-byte digest, which is what lets a sealed
+    leaf stub be re-hashed under a longer path after branch collapse.
+    """
+    return hash_concat(_TAG_VALUE, value)
+
+
+def leaf_hash(path: Nibbles, commitment: Hash) -> Hash:
+    """Hash of a leaf from its path and its :func:`value_commitment`."""
+    return hash_concat(_TAG_LEAF, encode_nibbles(path), commitment)
+
+
+def extension_hash(path: Nibbles, child: Hash) -> Hash:
+    return hash_concat(_TAG_EXTENSION, encode_nibbles(path), child)
+
+
+def branch_hash(children: Sequence[Hash], value: Optional[bytes]) -> Hash:
+    parts: list[bytes | Hash] = [_TAG_BRANCH]
+    parts.extend(children)
+    parts.append(value if value is not None else _NO_VALUE)
+    return hash_concat(*parts)
 
 
 class LeafNode:
@@ -55,7 +100,7 @@ class LeafNode:
 
     def hash(self) -> Hash:
         if self._hash is None:
-            self._hash = hash_concat(_TAG_LEAF, encode_nibbles(self.path), self.value)
+            self._hash = leaf_hash(self.path, value_commitment(self.value))
         return self._hash
 
     def storage_bytes(self) -> int:
@@ -84,7 +129,7 @@ class ExtensionNode:
 
     def hash(self) -> Hash:
         if self._hash is None:
-            self._hash = hash_concat(_TAG_EXTENSION, encode_nibbles(self.path), self.child.hash())
+            self._hash = extension_hash(self.path, self.child.hash())
         return self._hash
 
     def storage_bytes(self) -> int:
@@ -173,10 +218,7 @@ class BranchNode:
 
     def hash(self) -> Hash:
         if self._hash is None:
-            parts: list[bytes | Hash] = [_TAG_BRANCH]
-            parts.extend(self.child_hashes())
-            parts.append(self.value if self.value is not None else b"\xff")
-            self._hash = hash_concat(*parts)
+            self._hash = branch_hash(self.child_hashes(), self.value)
         return self._hash
 
     def child_count(self) -> int:
@@ -219,31 +261,143 @@ class BranchNode:
 
 
 class SealedNode:
-    """A pruned subtree: only the hash survives (§III-A).
+    """A pruned subtree: commitments survive, contents do not (§III-A).
 
-    The node's contents are gone from storage; the hash keeps the root
-    commitment intact.  Any traversal that reaches a sealed node must
-    fail — which is exactly how the Guest Contract prevents double
-    delivery after sealing a processed packet's receipt.
+    The node's contents are gone from storage; the stub keeps the root
+    commitment intact.  Any traversal that would enter the pruned *data*
+    must fail — which is exactly how the Guest Contract prevents double
+    delivery after sealing a processed packet's receipt.  Keys that
+    merely diverge from the stub's surviving skeleton are provably
+    absent, and fresh keys can still be inserted beside it.
+
+    Three kinds, mirroring what was pruned:
+
+    * ``LEAF`` — a single sealed entry.  ``path`` is the leaf's remaining
+      key path, ``core`` its :func:`value_commitment`; the hash is
+      :func:`leaf_hash` over the two.
+    * ``BRANCH`` — a fully sealed branch, optionally reached through an
+      extension prefix ``path``.  ``children`` keeps the 16-slot
+      occupancy with each present child's subtree hash, so empty slots
+      remain insertable and provably absent while occupied slots are
+      opaque.
+    * ``OPAQUE`` — a bare subtree hash with no skeleton: what a sealed
+      branch's occupied slot expands to when a fresh key is inserted
+      beside it.  Fully covered; can never be re-pathed (the enclosing
+      branch permanently keeps at least two of them, so collapse never
+      strands one — see ``_collapse_branch``).
+
+    Keeping paths and occupancy *outside* the hashed core is what makes
+    stubs re-pathable and splittable: delete/collapse and insert produce
+    exactly the stub a fresh rebuild of the same mapping would contain,
+    so an incrementally maintained root never diverges from a rebuilt
+    one.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("path", "core", "children", "kind", "_hash")
+
+    LEAF = 0
+    BRANCH = 1
+    OPAQUE = 2
 
     _AGG = (0, 0, 1)
 
-    def __init__(self, node_hash: Hash) -> None:
-        self._hash = node_hash
+    def __init__(self, path: Nibbles, kind: int,
+                 core: Optional[Hash] = None,
+                 children: Optional[tuple[Optional[Hash], ...]] = None) -> None:
+        if kind in (SealedNode.LEAF, SealedNode.OPAQUE):
+            if core is None or children is not None:
+                raise ValueError("leaf/opaque stubs carry a core hash only")
+            if kind == SealedNode.OPAQUE and path:
+                raise ValueError("opaque stubs cannot carry a path")
+        elif kind == SealedNode.BRANCH:
+            if children is None or core is not None:
+                raise ValueError("branch stubs carry child hashes only")
+            if len(children) != 16:
+                raise ValueError("branch stub must have exactly 16 child slots")
+        else:
+            raise ValueError(f"unknown sealed-node kind {kind}")
+        self.path = path
+        self.core = core
+        self.children = children
+        self.kind = kind
+        self._hash: Optional[Hash] = None
+
+    @classmethod
+    def of_leaf(cls, leaf: "LeafNode") -> "SealedNode":
+        return cls(leaf.path, cls.LEAF, core=value_commitment(leaf.value))
+
+    @classmethod
+    def of_branch(cls, branch: "BranchNode") -> "SealedNode":
+        children = tuple(
+            child.hash() if child is not None else None
+            for child in branch.children
+        )
+        return cls((), cls.BRANCH, children=children)
+
+    @classmethod
+    def opaque(cls, subtree_hash: Hash) -> "SealedNode":
+        return cls((), cls.OPAQUE, core=subtree_hash)
+
+    def with_prefix(self, prefix: Nibbles) -> "SealedNode":
+        """The same pruned data reached through ``prefix`` more nibbles —
+        what branch collapse and extension merge produce."""
+        if not prefix:
+            return self
+        if self.kind == SealedNode.OPAQUE:
+            raise ValueError("opaque stubs cannot be re-pathed")
+        return SealedNode(prefix + self.path, self.kind,
+                          core=self.core, children=self.children)
+
+    def covers(self, path: Nibbles) -> bool:
+        """Whether ``path`` would end inside the pruned data (as opposed
+        to provably diverging from, or fitting beside, the skeleton)."""
+        if self.kind == SealedNode.LEAF:
+            return path == self.path
+        if self.kind == SealedNode.OPAQUE:
+            return True
+        own = self.path
+        if len(path) <= len(own) or path[: len(own)] != own:
+            return False
+        assert self.children is not None
+        return self.children[path[len(own)]] is not None
+
+    def branch_core_hash(self) -> Hash:
+        """The sealed branch's own hash (before the extension prefix)."""
+        assert self.kind == SealedNode.BRANCH and self.children is not None
+        return branch_hash(
+            tuple(child if child is not None else _ZERO for child in self.children),
+            None,
+        )
+
+    def child_hash_set(self) -> tuple[Hash, ...]:
+        """All 16 child hashes with the zero hash for empty slots — the
+        shape absence-proof evidence carries."""
+        assert self.kind == SealedNode.BRANCH and self.children is not None
+        return tuple(child if child is not None else _ZERO
+                     for child in self.children)
 
     def hash(self) -> Hash:
+        if self._hash is None:
+            if self.kind == SealedNode.LEAF:
+                assert self.core is not None
+                self._hash = leaf_hash(self.path, self.core)
+            elif self.kind == SealedNode.OPAQUE:
+                assert self.core is not None
+                self._hash = self.core
+            else:
+                core = self.branch_core_hash()
+                self._hash = extension_hash(self.path, core) if self.path else core
         return self._hash
 
     def storage_bytes(self) -> int:
-        # The hash lives in the parent either way; a sealed stub occupies
-        # no extra storage in the on-chain layout.
+        # A stub is prunable to its 32-byte core on chain (the skeleton
+        # is witness-reconstructible from any proof through it), and that
+        # hash lives in the parent either way: accounted as zero.
         return 0
 
     def aggregates(self) -> tuple[int, int, int]:
         return self._AGG
 
     def __repr__(self) -> str:
-        return f"Sealed({self._hash.short()}…)"
+        kind = {0: "leaf", 1: "branch", 2: "opaque"}[self.kind]
+        return f"Sealed({kind}, path={self.path}, {self.hash().short()}…)"

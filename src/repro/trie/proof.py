@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.crypto.hashing import Hash, hash_concat
+from repro.crypto.hashing import Hash
 from repro.encoding import Reader, write_bytes, write_varint
 from repro.errors import ProofError
 from repro.trie.nibbles import (
@@ -34,27 +34,17 @@ from repro.trie.nibbles import (
     encode_nibbles,
     key_to_nibbles,
 )
-
-_TAG_LEAF = b"\x00"
-_TAG_EXTENSION = b"\x01"
-_TAG_BRANCH = b"\x02"
-
-_NO_VALUE = b"\xff"
+from repro.trie.nodes import (
+    branch_hash as _branch_hash,
+    extension_hash as _extension_hash,
+    leaf_hash,
+    value_commitment,
+)
 
 
 def _leaf_hash(path: Nibbles, value: bytes) -> Hash:
-    return hash_concat(_TAG_LEAF, encode_nibbles(path), value)
-
-
-def _extension_hash(path: Nibbles, child: Hash) -> Hash:
-    return hash_concat(_TAG_EXTENSION, encode_nibbles(path), child)
-
-
-def _branch_hash(children: list[Hash], value: Optional[bytes]) -> Hash:
-    parts: list[bytes | Hash] = [_TAG_BRANCH]
-    parts.extend(children)
-    parts.append(value if value is not None else _NO_VALUE)
-    return hash_concat(*parts)
+    """Leaf hash from the *raw* value proofs carry on the wire."""
+    return leaf_hash(path, value_commitment(value))
 
 
 # ---------------------------------------------------------------------------
@@ -131,13 +121,19 @@ class NoBranchValueEvidence:
 
 @dataclass(frozen=True, slots=True)
 class DivergentLeafEvidence:
-    """A leaf sits where the key would descend, but its path differs."""
+    """A leaf sits where the key would descend, but its path differs.
+
+    Carries the leaf's :func:`~repro.trie.nodes.value_commitment` rather
+    than its raw value: absence only needs the leaf's hash, the
+    commitment is fixed-size on the wire, and it is all a *sealed* leaf
+    stub retains — so divergence from sealed leaves proves absence too.
+    """
 
     path: Nibbles
-    value: bytes
+    commitment: Hash
 
     def node_hash(self) -> Hash:
-        return _leaf_hash(self.path, self.value)
+        return leaf_hash(self.path, self.commitment)
 
 
 @dataclass(frozen=True, slots=True)
@@ -327,7 +323,7 @@ def _write_evidence(out: bytearray, evidence: Evidence) -> None:
     if isinstance(evidence, DivergentLeafEvidence):
         write_varint(out, _EV_DIVERGENT_LEAF)
         write_bytes(out, encode_nibbles(evidence.path))
-        write_bytes(out, evidence.value)
+        out += evidence.commitment.value
         return
     if isinstance(evidence, DivergentExtensionEvidence):
         write_varint(out, _EV_DIVERGENT_EXTENSION)
@@ -350,8 +346,8 @@ def _decode_evidence(reader: Reader) -> Evidence:
         return NoBranchValueEvidence(children=children)
     if kind == _EV_DIVERGENT_LEAF:
         path = decode_nibbles(reader.read_bytes())
-        value = reader.read_bytes()
-        return DivergentLeafEvidence(path=path, value=value)
+        commitment = Hash(reader.read(32))
+        return DivergentLeafEvidence(path=path, commitment=commitment)
     if kind == _EV_DIVERGENT_EXTENSION:
         path = decode_nibbles(reader.read_bytes())
         child = Hash(reader.read(32))

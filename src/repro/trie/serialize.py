@@ -13,7 +13,10 @@ Layout: a node is ``tag`` + fields, depth-first:
 * ``0x01`` extension: nibble path, child node
 * ``0x02`` branch: 2-byte occupancy bitmap, optional value flag+bytes,
   then the present children in slot order
-* ``0x03`` sealed stub: the 32-byte hash
+* ``0x03`` sealed stub: kind byte, then per kind — leaf (0): nibble
+  path + 32-byte value commitment; branch (1): nibble path + 2-byte
+  occupancy bitmap + the present child hashes in slot order;
+  opaque (2): the 32-byte subtree hash
 * ``0xFF`` empty trie (root only)
 """
 
@@ -108,7 +111,23 @@ def _write_node(out: bytearray, node: Node) -> None:
                 _write_node(out, child)
     elif isinstance(node, SealedNode):
         out.append(_SEALED)
-        out += bytes(node.hash())
+        out.append(node.kind)
+        if node.kind == SealedNode.LEAF:
+            write_bytes(out, encode_nibbles(node.path))
+            out += bytes(node.core)
+        elif node.kind == SealedNode.BRANCH:
+            write_bytes(out, encode_nibbles(node.path))
+            assert node.children is not None
+            bitmap = 0
+            for index, child in enumerate(node.children):
+                if child is not None:
+                    bitmap |= 1 << index
+            out += bitmap.to_bytes(2, "big")
+            for child in node.children:
+                if child is not None:
+                    out += bytes(child)
+        else:  # OPAQUE
+            out += bytes(node.core)
     else:  # pragma: no cover - exhaustive over the node union
         raise TrieError(f"unknown node type {type(node)!r}")
 
@@ -133,5 +152,19 @@ def _read_node(reader: Reader, tag: Optional[int] = None) -> Node:
                 children[index] = _read_node(reader)
         return BranchNode(children, value)
     if tag == _SEALED:
-        return SealedNode(Hash(reader.read(32)))
+        kind = reader.read(1)[0]
+        if kind == SealedNode.LEAF:
+            path = decode_nibbles(reader.read_bytes())
+            return SealedNode(path, kind, core=Hash(reader.read(32)))
+        if kind == SealedNode.BRANCH:
+            path = decode_nibbles(reader.read_bytes())
+            bitmap = int.from_bytes(reader.read(2), "big")
+            children: list[Optional[Hash]] = [None] * 16
+            for index in range(16):
+                if bitmap & (1 << index):
+                    children[index] = Hash(reader.read(32))
+            return SealedNode(path, kind, children=tuple(children))
+        if kind == SealedNode.OPAQUE:
+            return SealedNode((), kind, core=Hash(reader.read(32)))
+        raise TrieError(f"unknown sealed-node kind {kind} in trie dump")
     raise TrieError(f"unknown trie-dump node tag {tag}")

@@ -2,14 +2,21 @@
 
 A 16-ary Merkle-Patricia trie with one extension over the textbook
 structure: :meth:`SealableTrie.seal` prunes an entry from storage while
-preserving the root commitment.  Sealed regions become inaccessible —
-reads, writes and proofs through them fail with
+preserving the root commitment.  Sealed data is inaccessible — reads,
+writes and proofs that would enter it fail with
 :class:`~repro.errors.SealedNodeError` — which is exactly the mechanism
 the Guest Contract uses to keep its state bounded while still preventing
-double delivery of packets.
+double delivery of packets.  Keys that merely *diverge* from a sealed
+stub's recorded path are provably absent and report
+:class:`~repro.errors.KeyNotFoundError`, and inserts under such keys
+split the stub like any leaf or extension.
 
 Mutations rebuild the nodes along the touched path (structural sharing for
-everything else), so cached hashes can never go stale.
+everything else), so cached hashes can never go stale.  The structural
+invariant the delete/collapse path maintains — including around sealed
+stubs, which are re-pathed rather than left stranded — is that the tree
+shape always equals the canonical (never-sealed) trie of the same
+mapping, so an incrementally maintained root matches a fresh rebuild.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.trie.nodes import (
     LeafNode,
     Node,
     SealedNode,
+    value_commitment,
 )
 from repro.trie.proof import (
     BranchStep,
@@ -56,6 +64,22 @@ class SealableTrie:
         # snapshot; recomputing the sibling-hash tuples dominates the
         # hot path otherwise.  Cleared on every mutation.
         self._proof_memo: dict[tuple[str, bytes], object] = {}
+        # Mutation mirrors (state-sync journals / lockstep replicas).
+        # Notified after each successful set/delete/seal; snapshots get
+        # a fresh empty list, so historical views never re-notify.
+        self._mirrors: list = []
+
+    def attach_mirror(self, mirror) -> None:
+        """Register an observer with ``on_op(kind, key, value)``, called
+        after every successful mutation (see :mod:`repro.state.sync`)."""
+        self._mirrors.append(mirror)
+
+    def detach_mirror(self, mirror) -> None:
+        self._mirrors.remove(mirror)
+
+    def _notify(self, kind: str, key: bytes, value: bytes = b"") -> None:
+        for mirror in self._mirrors:
+            mirror.on_op(kind, key, value)
 
     # ------------------------------------------------------------------
     # Commitment
@@ -83,6 +107,19 @@ class SealableTrie:
         view._root = self._root
         return view
 
+    @staticmethod
+    def _sealed_miss(node: SealedNode, path: Nibbles, key: bytes,
+                     verb: str) -> Exception:
+        """The error for an operation that ran into a sealed stub.
+
+        Entering the pruned data is a :class:`SealedNodeError`; a key
+        that provably diverges from the stub's recorded path is simply
+        absent, the same answer a never-sealed trie would give.
+        """
+        if node.covers(path):
+            return SealedNodeError(f"{verb} of {key.hex()} hit a sealed node")
+        return KeyNotFoundError(f"key {key.hex()} not in trie")
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
@@ -99,7 +136,7 @@ class SealableTrie:
             if node is None:
                 raise KeyNotFoundError(f"key {key.hex()} not in trie")
             if isinstance(node, SealedNode):
-                raise SealedNodeError(f"lookup of {key.hex()} hit a sealed node")
+                raise self._sealed_miss(node, path, key, "lookup")
             if isinstance(node, LeafNode):
                 if node.path == path:
                     return node.value
@@ -140,13 +177,15 @@ class SealableTrie:
             raise TrieError("trie values must be bytes")
         self._root = self._set(self._root, key_to_nibbles(key), value)
         self._proof_memo.clear()
+        if self._mirrors:
+            self._notify("set", key, value)
 
     def _set(self, node: Optional[Node], path: Nibbles, value: bytes) -> Node:
         if node is None:
             return LeafNode(path, value)
 
         if isinstance(node, SealedNode):
-            raise SealedNodeError("write path hit a sealed node")
+            return self._split_sealed(node, path, value)
 
         if isinstance(node, LeafNode):
             if node.path == path:
@@ -203,6 +242,66 @@ class SealableTrie:
             return ExtensionNode(path[:prefix], branch)
         return branch
 
+    def _split_sealed(self, node: SealedNode, path: Nibbles, value: bytes) -> Node:
+        """Insert next to a sealed stub the key provably does not enter.
+
+        A stub whose recorded path diverges from the key is re-pathed
+        under a divergence branch — the same split a live leaf or
+        extension gets; an empty slot of a sealed branch re-materializes
+        the branch around the new entry.  Either way the result is the
+        shape a fresh rebuild of the same mapping would produce, so
+        sealing never distorts the canonical structure.  Writing *into*
+        pruned data (the exact sealed key, or an occupied slot's opaque
+        subtree) stays forbidden: sealed entries can never be
+        resurrected (§III-A).
+        """
+        if node.covers(path):
+            raise SealedNodeError("write path hit a sealed node")
+        own = node.path
+        prefix = common_prefix_len(own, path)
+        if prefix == len(own):
+            if node.kind == SealedNode.BRANCH and len(path) > len(own):
+                return self._expand_sealed_branch(node, path, value)
+            # A LEAF stub's path is a strict prefix of the key (the
+            # sealed value would have to move to a branch-value slot the
+            # sealed layout cannot represent), or the key ends exactly at
+            # a sealed branch.  Hashed fixed-length store keys never
+            # produce prefix keys.
+            raise SealedNodeError("write path hit a sealed node")
+        stub_rest, new_rest = own[prefix:], path[prefix:]
+        branch = BranchNode()
+        branch.children[stub_rest[0]] = SealedNode(
+            stub_rest[1:], node.kind, core=node.core, children=node.children)
+        if new_rest:
+            branch.children[new_rest[0]] = LeafNode(new_rest[1:], value)
+        else:
+            branch.value = value
+        if prefix:
+            return ExtensionNode(path[:prefix], branch)
+        return branch
+
+    def _expand_sealed_branch(self, node: SealedNode, path: Nibbles,
+                              value: bytes) -> Node:
+        """Insert into an empty slot of a sealed branch.
+
+        The branch is re-materialized with opaque stubs in its occupied
+        slots (their subtree hashes are all the stub retained) and the
+        new leaf beside them.  The opaque stubs are permanent fixtures —
+        no operation can remove one — so the branch always keeps at
+        least two occupants and collapse can never strand an opaque stub
+        as a lone child it cannot re-path.
+        """
+        assert node.children is not None
+        branch = BranchNode()
+        for index, child in enumerate(node.children):
+            if child is not None:
+                branch.children[index] = SealedNode.opaque(child)
+        rest = path[len(node.path):]
+        branch.children[rest[0]] = LeafNode(rest[1:], value)
+        if node.path:
+            return ExtensionNode(node.path, branch)
+        return branch
+
     # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
@@ -216,12 +315,14 @@ class SealableTrie:
         """
         self._root = self._delete(self._root, key_to_nibbles(key), key)
         self._proof_memo.clear()
+        if self._mirrors:
+            self._notify("delete", key)
 
     def _delete(self, node: Optional[Node], path: Nibbles, key: bytes) -> Optional[Node]:
         if node is None:
             raise KeyNotFoundError(f"key {key.hex()} not in trie")
         if isinstance(node, SealedNode):
-            raise SealedNodeError("delete path hit a sealed node")
+            raise self._sealed_miss(node, path, key, "delete")
 
         if isinstance(node, LeafNode):
             if node.path == path:
@@ -245,12 +346,15 @@ class SealableTrie:
         return self._collapse_branch(node.replacing_child(path[0], new_child))
 
     def _merge_extension(self, path: Nibbles, child: Node) -> Node:
-        """Normalize an extension so no extension points at a leaf or
-        another extension."""
+        """Normalize an extension so no extension points at a leaf,
+        another extension, or a sealed stub (stubs absorb the prefix
+        into their recorded path instead)."""
         if isinstance(child, LeafNode):
             return LeafNode(path + child.path, child.value)
         if isinstance(child, ExtensionNode):
             return ExtensionNode(path + child.path, child.child)
+        if isinstance(child, SealedNode):
+            return child.with_prefix(path)
         return ExtensionNode(path, child)
 
     def _collapse_branch(self, branch: BranchNode) -> Optional[Node]:
@@ -271,11 +375,13 @@ class SealableTrie:
             index = occupied[0]
             only = children[index]
             assert only is not None
-            if isinstance(only, SealedNode):
-                # Cannot merge into a sealed child (its hash is fixed);
-                # keep the branch as-is to preserve commitments.
-                return branch
             return self._merge_extension((index,), only)
+        if branch.live_child_count() == 0:
+            # Every remaining occupant is sealed (e.g. the one live leaf
+            # of a re-materialized sealed branch was deleted): collapse
+            # back into a branch stub.  Hash-neutral, but the branch node
+            # leaves storage again.
+            return SealedNode.of_branch(branch)
         return branch
 
     # ------------------------------------------------------------------
@@ -291,27 +397,31 @@ class SealableTrie:
         """
         self._root = self._seal(self._root, key_to_nibbles(key), key)
         self._proof_memo.clear()
+        if self._mirrors:
+            self._notify("seal", key)
 
     def _seal(self, node: Optional[Node], path: Nibbles, key: bytes) -> Node:
         if node is None:
             raise KeyNotFoundError(f"key {key.hex()} not in trie")
         if isinstance(node, SealedNode):
-            raise SealedNodeError(f"seal path for {key.hex()} hit an already sealed node")
+            if node.covers(path):
+                raise SealedNodeError(
+                    f"seal path for {key.hex()} hit an already sealed node")
+            raise KeyNotFoundError(f"key {key.hex()} not in trie")
 
         if isinstance(node, LeafNode):
             if node.path != path:
                 raise KeyNotFoundError(f"key {key.hex()} not in trie")
-            return SealedNode(node.hash())
+            return SealedNode.of_leaf(node)
 
         if isinstance(node, ExtensionNode):
             if path[: len(node.path)] != node.path:
                 raise KeyNotFoundError(f"key {key.hex()} not in trie")
             child = self._seal(node.child, path[len(node.path):], key)
             if isinstance(child, SealedNode):
-                # The whole extension's subtree is sealed: seal the
-                # extension too, preserving its own hash.
-                new_ext = ExtensionNode(node.path, child)
-                return SealedNode(new_ext.hash())
+                # The whole extension's subtree is sealed: fold the
+                # extension path into the stub, preserving its hash.
+                return child.with_prefix(node.path)
             return ExtensionNode(node.path, child)
 
         # BranchNode
@@ -325,7 +435,7 @@ class SealableTrie:
         sealed_child = self._seal(node.children[path[0]], path[1:], key)
         branch = node.replacing_child(path[0], sealed_child)
         if branch.value is None and branch.live_child_count() == 0:
-            return SealedNode(branch.hash())
+            return SealedNode.of_branch(branch)
         return branch
 
     # ------------------------------------------------------------------
@@ -356,7 +466,7 @@ class SealableTrie:
             if node is None:
                 raise KeyNotFoundError(f"key {key.hex()} not in trie")
             if isinstance(node, SealedNode):
-                raise SealedNodeError(f"proof path for {key.hex()} hit a sealed node")
+                raise self._sealed_miss(node, path, key, "proof")
             if isinstance(node, LeafNode):
                 if node.path != path:
                     raise KeyNotFoundError(f"key {key.hex()} not in trie")
@@ -411,13 +521,46 @@ class SealableTrie:
                     raise TrieError("internal: descended into an empty child")
                 return NonMembershipProof(key=key, steps=(), evidence=EmptyTrieEvidence())
             if isinstance(node, SealedNode):
-                raise SealedNodeError(f"absence proof for {key.hex()} hit a sealed node")
+                if node.covers(path):
+                    raise SealedNodeError(
+                        f"absence proof for {key.hex()} hit a sealed node")
+                # The key provably diverges from (or fits beside) the
+                # stub's surviving skeleton, which is the evidence.
+                if node.kind == SealedNode.LEAF:
+                    assert node.core is not None
+                    return NonMembershipProof(
+                        key=key, steps=tuple(steps),
+                        evidence=DivergentLeafEvidence(
+                            path=node.path, commitment=node.core),
+                    )
+                # BRANCH kind (an OPAQUE stub covers every path).
+                own = node.path
+                if common_prefix_len(own, path) < len(own):
+                    return NonMembershipProof(
+                        key=key, steps=tuple(steps),
+                        evidence=DivergentExtensionEvidence(
+                            path=own, child=node.branch_core_hash()),
+                    )
+                if own:
+                    steps.append(ExtensionStep(own))
+                if len(path) == len(own):
+                    return NonMembershipProof(
+                        key=key, steps=tuple(steps),
+                        evidence=NoBranchValueEvidence(
+                            children=node.child_hash_set()),
+                    )
+                return NonMembershipProof(
+                    key=key, steps=tuple(steps),
+                    evidence=EmptySlotEvidence(
+                        children=node.child_hash_set(), value=None),
+                )
             if isinstance(node, LeafNode):
                 if node.path == path:
                     raise TrieError(f"key {key.hex()} is present; cannot prove absence")
                 return NonMembershipProof(
                     key=key, steps=tuple(steps),
-                    evidence=DivergentLeafEvidence(path=node.path, value=node.value),
+                    evidence=DivergentLeafEvidence(
+                        path=node.path, commitment=value_commitment(node.value)),
                 )
             if isinstance(node, ExtensionNode):
                 prefix = common_prefix_len(node.path, path)
@@ -492,6 +635,35 @@ class SealableTrie:
         if self._root is None:
             return 0
         return self._root.aggregates()[0]
+
+    def recount_aggregates(self) -> tuple[int, int, int]:
+        """Recompute ``(storage_bytes, live_nodes, sealed_stubs)`` by a
+        full walk that ignores every per-node aggregate cache.
+
+        This is the differential oracle for the cached aggregates: after
+        any interleaving of set/delete/seal the cached totals must equal
+        this recount exactly (tests/test_trie_properties.py asserts it).
+        """
+        def walk(node: Optional[Node]) -> tuple[int, int, int]:
+            if node is None:
+                return (0, 0, 0)
+            if isinstance(node, SealedNode):
+                return (node.storage_bytes(), 0, 1)
+            if isinstance(node, LeafNode):
+                return (node.storage_bytes(), 1, 0)
+            if isinstance(node, ExtensionNode):
+                storage, live, sealed = walk(node.child)
+                return (node.storage_bytes() + storage, 1 + live, sealed)
+            storage, live, sealed = node.storage_bytes(), 1, 0
+            for child in node.children:
+                if child is not None:
+                    c_storage, c_live, c_sealed = walk(child)
+                    storage += c_storage
+                    live += c_live
+                    sealed += c_sealed
+            return (storage, live, sealed)
+
+        return walk(self._root)
 
     def _iter_live_nodes(self) -> Iterator[Node]:
         stack = [self._root] if self._root is not None else []

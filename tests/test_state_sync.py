@@ -1,0 +1,297 @@
+"""Snapshot state-sync (docs/STATE.md).
+
+A joiner that bootstraps from a sealed-trie snapshot of a finalized
+height — verified against the guest light client's committed state
+root — must be indistinguishable from a node that replayed the full
+history: bit-identical roots, bit-identical serialized stores, and
+bit-identical membership proofs for every key it serves.  Covered here:
+
+* journal mechanics on a bare store (watermarks, lockstep mirrors);
+* deployment-level joins across three seeds, against a ``full_replay``
+  baseline that followed the whole run live;
+* a join performed in the middle of a fault storm (reusing the
+  ``repro.chaos`` plan machinery);
+* every refusal path: unfinalized height, missing watermark, snapshot
+  root mismatch, double journal attach.
+"""
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.chaos import ChaosInjector, FaultPlan
+from repro.crypto.hashing import Hash
+from repro.errors import GuestError, ReproError
+from repro.guest.config import GuestConfig
+from repro.ibc import commitment as paths
+from repro.state import ReplayMirror, StateJournal, SyncedReplica
+from repro.state.sync import StateSyncError, TrieOp
+from repro.trie.serialize import dump_store, load_store
+from repro.trie.store import ProvableStore
+from repro.validators.profiles import simple_profiles
+
+
+def make_dep(seed, validators=4, **kw):
+    kw.setdefault("with_fisherman", True)
+    return Deployment(DeploymentConfig(
+        seed=seed,
+        guest=GuestConfig(delta_seconds=90.0, min_stake_lamports=1),
+        profiles=simple_profiles(validators),
+        **kw,
+    ))
+
+
+def attach_journal(dep):
+    """Attach a journal right after construction, before any traffic.
+
+    Genesis itself predates the attach, so height 0 has no watermark —
+    joins must use a height generated afterwards, which is every height
+    the relayer ever finalizes during the test.
+    """
+    journal = StateJournal()
+    dep.contract.attach_state_journal(journal)
+    return journal
+
+
+def send_cp_transfers(dep, cp_chan, count, amount=5):
+    """Counterparty -> guest ICS-20 sends (become receipts on the guest)."""
+    def send():
+        data = dep.counterparty.transfer.make_payload(
+            cp_chan, "PICA", amount, "carol", "dave")
+        dep.counterparty.ibc.send_packet(
+            dep.counterparty.transfer_port, cp_chan, data, 0.0)
+
+    for _ in range(count):
+        dep.counterparty.submit(send)
+
+
+def receipt_proofs(store, prefix, upper=64):
+    """Serialized membership proofs for every provable receipt."""
+    proofs = {}
+    for seq in range(1, upper):
+        try:
+            proofs[seq] = store.prove_seq(prefix, seq).to_bytes()
+        except ReproError:
+            continue
+    return proofs
+
+
+def finalized_join_height(dep, journal):
+    height = dep.guest_client.latest_height()
+    assert height > 0, "no finalized guest blocks yet"
+    assert dep.guest_client.consensus_root(height) is not None
+    assert journal.watermark(height) >= 0
+    return height
+
+
+# ----------------------------------------------------------------------
+# Journal + mirror mechanics on a bare store
+# ----------------------------------------------------------------------
+
+
+class TestJournalMechanics:
+    def test_mirror_keeps_replica_in_lockstep(self):
+        source = ProvableStore()
+        replica = SyncedReplica.full_replay(source)
+        for i in range(40):
+            source.set_seq("receipts/c", i, b"\x01")
+            source.set_seq("commitments/c", i, i.to_bytes(4, "big"))
+            if i >= 2:
+                source.seal_seq("receipts/c", i - 2)
+            if i >= 5:
+                source.delete_seq("commitments/c", i - 5)
+            assert bytes(replica.root_hash) == bytes(source.root_hash)
+        assert dump_store(replica.store) == dump_store(source)
+
+    def test_full_replay_clones_mid_run_state(self):
+        source = ProvableStore()
+        source.set("a/b", b"early")
+        source.set("a/c", b"also-early")
+        source.seal("a/c")
+        replica = SyncedReplica.full_replay(source)
+        assert bytes(replica.root_hash) == bytes(source.root_hash)
+        source.set("a/d", b"late")
+        assert bytes(replica.root_hash) == bytes(source.root_hash)
+
+    def test_detach_stops_mirroring(self):
+        source = ProvableStore()
+        replica = SyncedReplica.full_replay(source)
+        source.set("k/1", b"v")
+        assert bytes(replica.root_hash) == bytes(source.root_hash)
+        replica.detach(source.trie)
+        source.set("k/2", b"v")
+        assert bytes(replica.root_hash) != bytes(source.root_hash)
+
+    def test_watermark_replay_reproduces_marked_state(self):
+        source = ProvableStore()
+        journal = StateJournal()
+        source.trie.attach_mirror(journal)
+        roots = {}
+        for height in range(1, 6):
+            source.set_seq("acks/c", height, height.to_bytes(2, "big"))
+            if height >= 2:
+                source.seal_seq("acks/c", height - 1)
+            journal.mark_height(height)
+            roots[height] = bytes(source.root_hash)
+        for height, root in roots.items():
+            rebuilt = ProvableStore()
+            mirror = ReplayMirror(rebuilt)
+            for op in journal.ops[:journal.watermark(height)]:
+                mirror.on_op(op.kind, op.key, op.value)
+            assert bytes(rebuilt.root_hash) == root
+
+    def test_missing_watermark_raises(self):
+        journal = StateJournal()
+        with pytest.raises(StateSyncError, match="no watermark"):
+            journal.watermark(7)
+
+    def test_ops_are_recorded_in_order_with_kinds(self):
+        source = ProvableStore()
+        journal = StateJournal()
+        source.trie.attach_mirror(journal)
+        source.set("x/1", b"a")
+        source.set("x/2", b"b")
+        source.seal("x/1")
+        source.delete("x/2")
+        assert [op.kind for op in journal.ops] == [
+            "set", "set", "seal", "delete"]
+        assert journal.ops[0] == TrieOp("set", journal.ops[0].key, b"a")
+
+
+# ----------------------------------------------------------------------
+# Deployment-level joins: snapshot joiner == always-online baseline
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotJoin:
+    @pytest.mark.parametrize("seed", [3101, 3102, 3103])
+    def test_joiner_matches_full_replay_node(self, seed):
+        dep = make_dep(seed)
+        journal = attach_journal(dep)
+        baseline = SyncedReplica.full_replay(dep.contract.store)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 10_000)
+
+        send_cp_transfers(dep, cp_chan, 6)
+        dep.run_for(600.0)
+
+        height = finalized_join_height(dep, journal)
+        joiner = SyncedReplica.join_from_snapshot(
+            dep.contract, dep.guest_client, height, journal)
+        assert joiner.synced_from == height
+        # Caught up to the source's present instantly.
+        assert bytes(joiner.root_hash) == bytes(dep.contract.store.root_hash)
+
+        # The joiner must now track every later mutation in lockstep.
+        send_cp_transfers(dep, cp_chan, 5)
+        dep.run_for(600.0)
+
+        source_root = bytes(dep.contract.store.root_hash)
+        assert bytes(joiner.root_hash) == source_root
+        assert bytes(baseline.root_hash) == source_root
+        assert (dump_store(joiner.store)
+                == dump_store(dep.contract.store)
+                == dump_store(baseline.store))
+
+        # Served proofs are bit-identical too, and some receipts exist.
+        prefix = paths.receipt_prefix(dep.contract.transfer_port, guest_chan)
+        source_proofs = receipt_proofs(dep.contract.store, prefix)
+        assert source_proofs, "expected at least one provable receipt"
+        assert receipt_proofs(joiner.store, prefix) == source_proofs
+        assert receipt_proofs(baseline.store, prefix) == source_proofs
+
+    def test_join_mid_chaos_storm(self):
+        dep = make_dep(3104, tracing=True)
+        journal = attach_journal(dep)
+        baseline = SyncedReplica.full_replay(dep.contract.store)
+        guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 10_000)
+
+        send_cp_transfers(dep, cp_chan, 4)
+        dep.run_for(400.0)   # pre-storm traffic, some heights finalized
+
+        plan = (FaultPlan(label="join-storm")
+                .add("host_blackout", at=5.0, duration=25.0)
+                .add("gossip_drop", at=0.0, duration=40.0, probability=0.3)
+                .add("relayer_crash", at=10.0, duration=15.0)
+                .add("validator_crash", at=0.0, duration=60.0, target="2"))
+        ChaosInjector(dep, plan).arm()
+        send_cp_transfers(dep, cp_chan, 6)
+        dep.run_for(20.0)    # mid-storm: blackout on, relayer down
+
+        height = finalized_join_height(dep, journal)
+        joiner = SyncedReplica.join_from_snapshot(
+            dep.contract, dep.guest_client, height, journal)
+        assert bytes(joiner.root_hash) == bytes(dep.contract.store.root_hash)
+
+        send_cp_transfers(dep, cp_chan, 3)
+        dep.run_for(900.0)   # storm recovery + drain
+
+        source_root = bytes(dep.contract.store.root_hash)
+        assert bytes(joiner.root_hash) == source_root
+        assert bytes(baseline.root_hash) == source_root
+        assert (dump_store(joiner.store)
+                == dump_store(dep.contract.store)
+                == dump_store(baseline.store))
+
+
+# ----------------------------------------------------------------------
+# Refusal paths
+# ----------------------------------------------------------------------
+
+
+class _BogusClient:
+    """A light client committing to a root the snapshot cannot match."""
+
+    def __init__(self, height):
+        self._height = height
+
+    def consensus_root(self, height):
+        return Hash.of(b"not-the-state-root") if height == self._height else None
+
+
+class TestJoinRefusals:
+    @pytest.fixture(scope="class")
+    def run(self):
+        dep = make_dep(3105)
+        journal = attach_journal(dep)
+        _guest_chan, cp_chan = dep.establish_link()
+        dep.counterparty.bank.mint("carol", "PICA", 10_000)
+        send_cp_transfers(dep, cp_chan, 4)
+        dep.run_for(600.0)
+        return dep, journal
+
+    def test_unfinalized_height_is_refused(self, run):
+        dep, journal = run
+        future = dep.guest_client.latest_height() + 1_000
+        with pytest.raises(StateSyncError, match="not finalized"):
+            SyncedReplica.join_from_snapshot(
+                dep.contract, dep.guest_client, future, journal)
+
+    def test_missing_watermark_is_refused(self, run):
+        dep, _journal = run
+        height = dep.guest_client.latest_height()
+        with pytest.raises(StateSyncError, match="no watermark"):
+            SyncedReplica.join_from_snapshot(
+                dep.contract, dep.guest_client, height, StateJournal())
+
+    def test_snapshot_root_mismatch_is_refused(self, run):
+        dep, journal = run
+        height = dep.guest_client.latest_height()
+        with pytest.raises(StateSyncError, match="does not match"):
+            SyncedReplica.join_from_snapshot(
+                dep.contract, _BogusClient(height), height, journal)
+
+    def test_double_journal_attach_is_refused(self, run):
+        dep, _journal = run
+        with pytest.raises(GuestError, match="already attached"):
+            dep.contract.attach_state_journal(StateJournal())
+
+    def test_snapshot_bytes_are_self_proving(self, run):
+        """The snapshot is the preimage of the committed root: loading
+        it reproduces the finalized state root exactly."""
+        dep, _journal = run
+        height = dep.guest_client.latest_height()
+        snapshot = dump_store(dep.contract.state_view(height))
+        loaded = load_store(snapshot)
+        assert (bytes(loaded.root_hash)
+                == bytes(dep.guest_client.consensus_root(height)))

@@ -136,11 +136,14 @@ class TestStoreDumpVectors:
         assert bytes(load_trie(dump).root_hash) == bytes(self.build_trie().root_hash)
 
     def test_sealed_dump_digest(self):
+        # Digest bumped with the sealed-stub format change: stubs now
+        # carry a kind byte plus path/occupancy skeleton (re-pathable
+        # sealing) instead of a bare subtree hash.
         trie = self.build_trie()
         trie.seal(hashlib.sha256((1).to_bytes(4, "big")).digest())
         dump = dump_trie(trie)
         assert hashlib.sha256(dump).hexdigest() == (
-            "6d97cd0af91544888888752be623c1e649c1bdf45d91ce973d928792a50b5877"
+            "3664c4ce8e9cf1b82e8e6649b885ff19f1a8be7da2743651138cefadec48453a"
         )
         assert bytes(load_trie(dump).root_hash) == bytes(trie.root_hash)
 

@@ -209,17 +209,25 @@ class TestSealing:
         assert trie.node_count() <= 4 * live_window
         assert high_water <= 6 * live_window
 
-    def test_random_key_into_fully_sealed_prefix_raises(self, trie):
-        """Documented limitation: sealing collapses whole prefixes, and a
-        *new* key that would descend into a sealed prefix cannot be
-        inserted — which is why sealing is reserved for monotone
-        sequenced keys."""
+    def test_fresh_key_into_fully_sealed_prefix_inserts(self, trie):
+        """Sealed branch stubs keep their slot occupancy, so a *new* key
+        that lands in an empty slot of a fully sealed branch inserts
+        cleanly — and the incremental root matches a fresh rebuild of
+        the same mapping.  Only keys that descend into *pruned* data
+        (an occupied slot, or an overwrite of a sealed key) raise."""
         trie.set(b"\x00" * 32, b"a")
         trie.set(b"\x00" * 31 + b"\x01", b"b")
         trie.seal(b"\x00" * 32)
         trie.seal(b"\x00" * 31 + b"\x01")
+        trie.set(b"\x00" * 31 + b"\x02", b"c")
+        fresh = SealableTrie()
+        fresh.set(b"\x00" * 32, b"a")
+        fresh.set(b"\x00" * 31 + b"\x01", b"b")
+        fresh.set(b"\x00" * 31 + b"\x02", b"c")
+        assert trie.root_hash == fresh.root_hash
+        # Pruned data is still unreachable: overwriting a sealed key raises.
         with pytest.raises(SealedNodeError):
-            trie.set(b"\x00" * 31 + b"\x02", b"c")
+            trie.set(b"\x00" * 32, b"a2")
 
     def test_seal_then_proof_of_sibling_still_works(self, trie):
         from repro.trie import verify_membership

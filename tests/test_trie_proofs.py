@@ -147,13 +147,26 @@ class TestNonMembershipProofs:
 
 
 class TestProofsAndSealing:
-    def test_absence_through_sealed_region_raises(self):
+    def test_absence_beside_sealed_leaf_is_provable(self):
+        """A sealed leaf stub keeps its path and value commitment, so a
+        probe that diverges from it yields divergent-leaf evidence —
+        absence stays provable after sealing."""
+        trie = SealableTrie()
+        trie.set(b"\x00" * 32, b"v")
+        trie.set(b"\xff" * 32, b"w")
+        trie.seal(b"\x00" * 32)
+        proof = trie.prove_absence(b"\x00" * 31 + b"\x01")
+        assert verify_non_membership(trie.root_hash, proof)
+
+    def test_absence_of_sealed_key_itself_raises(self):
+        """The sealed key is *present* (its commitment is retained); a
+        non-membership claim for it must be refused, not proven."""
         trie = SealableTrie()
         trie.set(b"\x00" * 32, b"v")
         trie.set(b"\xff" * 32, b"w")
         trie.seal(b"\x00" * 32)
         with pytest.raises(SealedNodeError):
-            trie.prove_absence(b"\x00" * 31 + b"\x01")
+            trie.prove_absence(b"\x00" * 32)
 
     def test_old_proof_survives_sealing(self):
         """Sealing must not invalidate previously issued proofs — the

@@ -208,15 +208,6 @@ def test_differential_against_dict_model(ops, data):
     trie = SealableTrie()
     live: dict = {}    # readable committed entries
     sealed: dict = {}  # committed but sealed away
-    # A delete that leaves a sealed stub as a branch's lone occupant
-    # cannot collapse that branch — the stub's path bytes are pruned, so
-    # there is nothing to merge into an extension.  From the first
-    # delete performed while anything is sealed, the live root may
-    # therefore legitimately differ from a fresh rebuild of the same
-    # entries (see test_delete_of_last_live_sibling_of_a_sealed_stub
-    # for the deterministic shape); lookups and proofs must keep
-    # working regardless, so only the root comparison is relaxed.
-    rebuild_comparable = True
 
     for op in ops:
         kind, key = op[0], op[1]
@@ -238,8 +229,6 @@ def test_differential_against_dict_model(ops, data):
             elif key in live:
                 trie.delete(key)
                 del live[key]
-                if sealed:
-                    rebuild_comparable = False
             else:
                 _expect_miss(sealed, lambda: trie.delete(key))
         else:  # seal
@@ -252,9 +241,13 @@ def test_differential_against_dict_model(ops, data):
                 _expect_miss(sealed, lambda: trie.seal(key))
 
         # -- after every step, the trie must agree with the model --
+        # The root comparison is STRICT: sealing re-paths stubs on
+        # collapse, so the incremental root always equals a fresh
+        # rebuild of the committed mapping, deletes included.
         root = trie.root_hash
-        if rebuild_comparable:
-            assert root == _reference_root(live, sealed)
+        assert root == _reference_root(live, sealed)
+        assert (trie.storage_bytes(), trie.node_count(),
+                trie.sealed_count()) == trie.recount_aggregates()
         for k, v in live.items():
             assert trie.get(k) == v
         for k in sealed:
@@ -282,12 +275,11 @@ def test_differential_against_dict_model(ops, data):
 
 
 def test_delete_of_last_live_sibling_of_a_sealed_stub():
-    """The shape the fresh-rebuild model cannot capture: deleting the
-    only live sibling of a sealed stub.  The branch above the stub
-    cannot collapse (the stub's path bytes are pruned), so the live
-    root legitimately differs from a rebuild holding only the sealed
-    entry — while reads, absence proofs and reinsertion all keep
-    behaving, and reinsertion restores the exact pre-delete root."""
+    """Deterministic regression for the shape PR 5 papered over: a
+    delete that leaves a sealed stub as a branch's lone occupant.
+    Sealed stubs now retain their path skeleton, so the branch
+    collapses by re-pathing the stub and the incremental root equals a
+    fresh rebuild holding only the sealed entry — no divergence."""
     k_sealed = hashlib.sha256(b"stub-kept").digest()
     k_live = hashlib.sha256(b"stub-doomed").digest()
     trie = SealableTrie()
@@ -301,20 +293,45 @@ def test_delete_of_last_live_sibling_of_a_sealed_stub():
     root_after = trie.root_hash
     assert root_after != root_both
 
-    # The blocked collapse is visible in the commitment: a fresh trie
-    # holding just the sealed entry has a leaf where the live trie
-    # keeps a one-occupant branch around the stub.
+    # The collapse normalizes the shape: the commitment matches a
+    # fresh trie holding just the surviving (sealed) entry.
     fresh = SealableTrie()
     fresh.set(k_sealed, b"kept")
-    assert root_after != fresh.root_hash
+    assert root_after == fresh.root_hash
 
-    # The deleted key is still provably absent (its branch slot is
-    # empty; the sealed stub is a sibling, not on the path).
+    # The deleted key is provably absent — its probe diverges from the
+    # re-pathed sealed leaf stub, which still carries path + commitment.
     assert verify_non_membership(root_after, trie.prove_absence(k_live))
 
-    # Reinsertion rebuilds the identical structure.
+    # The sealed entry itself stays unreadable but committed.
+    _expect(SealedNodeError, lambda: trie.get(k_sealed))
+
+    # Reinsertion splits the stub back out and restores the exact
+    # pre-delete root.
     trie.set(k_live, b"doomed")
     assert trie.root_hash == root_both
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=10, max_value=80))
+def test_cached_aggregates_survive_sequenced_churn(window, total):
+    """The per-node aggregate caches (storage bytes / live nodes /
+    sealed stubs) must track a full recount exactly through the guest's
+    real workload shape: monotone sequenced inserts with a trailing
+    window of seals and deletes."""
+    prefix = hashlib.sha256(b"agg-channel").digest()[:24]
+    seq_key = lambda i: prefix + i.to_bytes(8, "big")
+    trie = SealableTrie()
+    for i in range(total):
+        trie.set(seq_key(i), b"receipt-%d" % i)
+        if i >= window:
+            j = i - window
+            if j % 3 == 0:
+                trie.delete(seq_key(j))
+            else:
+                trie.seal(seq_key(j))
+        assert (trie.storage_bytes(), trie.node_count(),
+                trie.sealed_count()) == trie.recount_aggregates()
 
 
 def _expect(error, thunk):

@@ -66,9 +66,23 @@ class TestNodeHashing:
 
     def test_sealed_preserves_hash(self):
         leaf = LeafNode((1, 2), b"v")
-        stub = SealedNode(leaf.hash())
+        stub = SealedNode.of_leaf(leaf)
         assert stub.hash() == leaf.hash()
         assert stub.storage_bytes() == 0
+
+    def test_sealed_branch_preserves_hash(self):
+        branch = BranchNode()
+        branch.children[0] = LeafNode((1,), b"v")
+        branch.children[5] = LeafNode((2,), b"w")
+        stub = SealedNode.of_branch(branch)
+        assert stub.hash() == branch.hash()
+        assert stub.storage_bytes() == 0
+
+    def test_opaque_stub_cannot_be_repathed(self):
+        stub = SealedNode.opaque(Hash.of(b"subtree"))
+        assert stub.hash() == Hash.of(b"subtree")
+        with pytest.raises(ValueError):
+            stub.with_prefix((1, 2))
 
     def test_branch_storage_counts_present_children_only(self):
         empty = BranchNode()
