@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint bench figures examples cluster-smoke chaos-smoke \
-	wallclock-smoke profile-soak fabric-smoke state-smoke all
+	accountability-smoke wallclock-smoke profile-soak fabric-smoke \
+	state-smoke all
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -35,6 +36,12 @@ cluster-smoke:
 # Fault-storm convergence check with a fault-free twin (docs/CHAOS.md).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments chaos-smoke
+
+# Equivocation storm: every seeded safety violation must end in an
+# attributable on-chain slash, bit-reproducibly across three seeds
+# (docs/ACCOUNTABILITY.md).  Writes BENCH_accountability_smoke.json.
+accountability-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments accountability-smoke
 
 # Wall-clock hot-path gate: a scaled soak must clear the events/sec
 # floor (docs/PERFORMANCE.md).  Writes BENCH_wallclock_smoke.json.

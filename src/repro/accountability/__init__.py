@@ -1,0 +1,37 @@
+"""Accountable safety: attributable equivocation proofs and slashing.
+
+When a light client (or the fisherman watching gossip) observes two
+conflicting quorum finalisations for the same height, the protocol can
+do better than freeze: the two signer sets must intersect in at least
+one third of the voting power, and every validator in that intersection
+provably signed both sides.  :class:`AccountabilityProof` packages the
+two finalisations — commitments, sign-bytes, and both raw signature
+sets — into a compact, self-contained artefact that any party can
+verify with one :meth:`~repro.crypto.keys.SignatureScheme.verify_batch`
+call, and :func:`apply_accountability_slash` burns the offenders' stake
+and ejects them from the candidate set with deterministic,
+stake-conserving accounting.
+
+See docs/ACCOUNTABILITY.md for the proof format and the end-to-end
+slashing flow.
+"""
+
+from repro.accountability.proof import (
+    AccountabilityProof,
+    Finalisation,
+    build_proof,
+    verify_proof,
+)
+from repro.accountability.slashing import (
+    AccountabilitySlashOutcome,
+    apply_accountability_slash,
+)
+
+__all__ = [
+    "AccountabilityProof",
+    "AccountabilitySlashOutcome",
+    "Finalisation",
+    "apply_accountability_slash",
+    "build_proof",
+    "verify_proof",
+]

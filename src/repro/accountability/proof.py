@@ -1,0 +1,202 @@
+"""The :class:`AccountabilityProof` wire format and its verifier.
+
+A proof pins two *finalisations* of the same height on the same chain:
+each side carries the commitment the quorum signed off on (the guest
+block fingerprint, or a Comet app hash), the exact bytes that were
+signed, and the raw ``(public_key, signature)`` set.  Verification is
+protocol-agnostic — the caller supplies the validator powers and the
+quorum threshold of the epoch named by ``valset_hash`` and a batch
+verifier, and :func:`verify_proof` checks that
+
+* the two commitments differ (the finalisations genuinely conflict),
+* each side is signed by at least quorum power, and
+* the signer intersection holds more than one third of the total power,
+
+returning the intersection — the validators that attributably
+double-signed.  Binding the sign-bytes to the claimed height is the one
+protocol-specific step and stays with the caller (the guest contract
+reconstructs ``sign_message(height, commitment)``; the Tendermint side
+re-derives the vote bytes from the embedded header).
+
+Encoding uses the zero-copy codec writers so golden vectors stay
+byte-stable; see ``tests/test_golden_vectors.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.crypto.hashing import Hash, hash_concat
+from repro.crypto.keys import (
+    PUBLIC_KEY_SIZE,
+    SIGNATURE_SIZE,
+    PublicKey,
+    Signature,
+)
+from repro.encoding import Reader, write_bytes, write_str, write_varint
+from repro.errors import AccountabilityError
+
+
+@dataclass(frozen=True)
+class Finalisation:
+    """One side of an equivocation: a quorum-signed commitment.
+
+    ``commitment`` distinguishes the two branches (block fingerprint /
+    app hash), ``sign_bytes`` is exactly what each validator signed, and
+    ``header_bytes`` optionally embeds the full header for protocols
+    whose sign-bytes cannot be reconstructed from ``(height,
+    commitment)`` alone (Comet votes hash the whole header).
+    """
+
+    commitment: bytes
+    sign_bytes: bytes
+    signatures: tuple[tuple[PublicKey, Signature], ...]
+    header_bytes: bytes = b""
+
+    def signers(self) -> tuple[PublicKey, ...]:
+        return tuple(public_key for public_key, _ in self.signatures)
+
+    def write_to(self, out: bytearray) -> None:
+        write_bytes(out, self.commitment)
+        write_bytes(out, self.sign_bytes)
+        write_bytes(out, self.header_bytes)
+        write_varint(out, len(self.signatures))
+        for public_key, signature in self.signatures:
+            out += bytes(public_key)
+            out += bytes(signature)
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "Finalisation":
+        commitment = reader.read_bytes()
+        sign_bytes = reader.read_bytes()
+        header_bytes = reader.read_bytes()
+        count = reader.read_varint()
+        signatures = tuple(
+            (PublicKey(reader.read(PUBLIC_KEY_SIZE)),
+             Signature(reader.read(SIGNATURE_SIZE)))
+            for _ in range(count)
+        )
+        return cls(commitment=commitment, sign_bytes=sign_bytes,
+                   signatures=signatures, header_bytes=header_bytes)
+
+
+@dataclass(frozen=True)
+class AccountabilityProof:
+    """Two conflicting finalisations of ``height`` on ``chain_id``.
+
+    Canonical form orders the sides by commitment
+    (``first.commitment < second.commitment``) so a given equivocation
+    has exactly one encoding and one :meth:`proof_id` no matter which
+    side was observed first; :func:`build_proof` establishes the order
+    and :func:`verify_proof` rejects proofs that violate it.
+    """
+
+    chain_id: str
+    height: int
+    valset_hash: bytes
+    first: Finalisation
+    second: Finalisation
+
+    def proof_id(self) -> Hash:
+        """Stable identifier for on-chain double-prosecution detection."""
+        return hash_concat(
+            b"accountability",
+            self.chain_id.encode(),
+            self.height.to_bytes(8, "big"),
+            self.valset_hash,
+            self.first.commitment,
+            self.second.commitment,
+        )
+
+    def offenders(self) -> tuple[PublicKey, ...]:
+        """Validators that signed both sides, sorted by key bytes."""
+        both = set(self.first.signers()) & set(self.second.signers())
+        return tuple(sorted(both, key=bytes))
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        write_str(out, self.chain_id)
+        write_varint(out, self.height)
+        write_bytes(out, self.valset_hash)
+        self.first.write_to(out)
+        self.second.write_to(out)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AccountabilityProof":
+        reader = Reader(data)
+        chain_id = reader.read_str()
+        height = reader.read_varint()
+        valset_hash = reader.read_bytes()
+        first = Finalisation.read_from(reader)
+        second = Finalisation.read_from(reader)
+        reader.expect_end()
+        return cls(chain_id=chain_id, height=height, valset_hash=valset_hash,
+                   first=first, second=second)
+
+
+def build_proof(chain_id: str, height: int, valset_hash: bytes,
+                a: Finalisation, b: Finalisation) -> AccountabilityProof:
+    """Assemble a proof in canonical side order from two finalisations."""
+    if a.commitment == b.commitment:
+        raise AccountabilityError(
+            "finalisations share a commitment; nothing to attribute")
+    first, second = (a, b) if a.commitment < b.commitment else (b, a)
+    return AccountabilityProof(chain_id=chain_id, height=height,
+                               valset_hash=valset_hash,
+                               first=first, second=second)
+
+
+def _side_power(fin: Finalisation, powers: Mapping[PublicKey, int],
+                ) -> tuple[dict[PublicKey, Signature], int]:
+    """Deduplicated member signatures of one side and their total power."""
+    members: dict[PublicKey, Signature] = {}
+    for public_key, signature in fin.signatures:
+        if public_key in powers and public_key not in members:
+            members[public_key] = signature
+    return members, sum(powers[public_key] for public_key in members)
+
+
+def verify_proof(
+    proof: AccountabilityProof,
+    *,
+    powers: Mapping[PublicKey, int],
+    total_power: int,
+    quorum_power: int,
+    batch_verify: Callable[
+        [Sequence[tuple[PublicKey, bytes, Signature]]], bool],
+) -> tuple[PublicKey, ...]:
+    """Check a proof against an epoch and return the double-signers.
+
+    Raises :class:`AccountabilityError` unless both sides carry quorum
+    power, every signature verifies (all-or-nothing — prosecutors build
+    proofs from already-verified material, so one bad signature marks
+    the whole artefact untrustworthy), and the intersection exceeds one
+    third of ``total_power``.
+    """
+    if proof.first.commitment == proof.second.commitment:
+        raise AccountabilityError(
+            "finalisations share a commitment; nothing to attribute")
+    if proof.first.commitment > proof.second.commitment:
+        raise AccountabilityError("proof sides are not in canonical order")
+    entries: list[tuple[PublicKey, bytes, Signature]] = []
+    sides: list[dict[PublicKey, Signature]] = []
+    for label, fin in (("first", proof.first), ("second", proof.second)):
+        members, power = _side_power(fin, powers)
+        if power < quorum_power:
+            raise AccountabilityError(
+                f"{label} finalisation carries {power} of the required "
+                f"{quorum_power} quorum power")
+        entries.extend((public_key, fin.sign_bytes, signature)
+                       for public_key, signature in members.items())
+        sides.append(members)
+    if not batch_verify(entries):
+        raise AccountabilityError("proof contains an invalid signature")
+    intersection = sorted(sides[0].keys() & sides[1].keys(), key=bytes)
+    guilty_power = sum(powers[public_key] for public_key in intersection)
+    if guilty_power * 3 <= total_power:
+        raise AccountabilityError(
+            f"double-signers hold {guilty_power} of {total_power} stake — "
+            f"not the attributable one-third overlap")
+    return tuple(intersection)

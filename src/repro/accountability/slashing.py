@@ -1,0 +1,79 @@
+"""Deterministic slash-and-eject with stake conservation and a liveness floor.
+
+Applying an :class:`~repro.accountability.proof.AccountabilityProof`
+must not depend on iteration order (the same proof replayed from a
+checkpoint has to burn the same lamports) and must never leave the guest
+without enough eligible candidates to form the next epoch.  Offenders
+are therefore processed in sorted key order, and an offender whose
+ejection would drop the eligible-candidate count below the configured
+``min_live_validators`` floor is *spared* — recorded in the outcome but
+left bonded — rather than bricking the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable
+
+from repro.crypto.keys import PublicKey
+
+if TYPE_CHECKING:  # avoids a cycle: guest.contract imports this package
+    from repro.guest.staking import StakingPool
+
+
+@dataclass(frozen=True)
+class AccountabilitySlashOutcome:
+    """What one proof application did to the staking pool."""
+
+    offenders: tuple[PublicKey, ...]
+    ejected: tuple[PublicKey, ...]
+    spared: tuple[PublicKey, ...]
+    slashed: tuple[tuple[PublicKey, int], ...]
+    total_slashed: int
+    locked_before: int
+    locked_after: int
+
+    def conserves_stake(self) -> bool:
+        return self.locked_before == self.locked_after + self.total_slashed
+
+
+def apply_accountability_slash(
+    staking: StakingPool,
+    offenders: Iterable[PublicKey],
+    *,
+    fraction: Fraction,
+    min_live: int,
+) -> AccountabilitySlashOutcome:
+    """Slash ``fraction`` of each offender's stake and eject it.
+
+    Deterministic: offenders are deduplicated and processed sorted by
+    key bytes.  The liveness floor is evaluated per offender against the
+    pool's *current* eligible count, so when an entire validator set is
+    implicated the last ``min_live`` eligible candidates (in processing
+    order) are spared and keep their stake.
+    """
+    ordered = sorted(set(offenders), key=bytes)
+    locked_before = staking.locked_total()
+    ejected: list[PublicKey] = []
+    spared: list[PublicKey] = []
+    amounts: list[tuple[PublicKey, int]] = []
+    for offender in ordered:
+        if (staking.is_eligible(offender)
+                and staking.eligible_count() - 1 < min_live):
+            spared.append(offender)
+            continue
+        amount = staking.slash(offender, fraction)
+        staking.remove(offender)
+        if amount:
+            amounts.append((offender, amount))
+        ejected.append(offender)
+    return AccountabilitySlashOutcome(
+        offenders=tuple(ordered),
+        ejected=tuple(ejected),
+        spared=tuple(spared),
+        slashed=tuple(amounts),
+        total_slashed=sum(amount for _, amount in amounts),
+        locked_before=locked_before,
+        locked_after=staking.locked_total(),
+    )

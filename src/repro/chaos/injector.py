@@ -21,11 +21,18 @@ plain data; a chaos world snapshots and replays through
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.chaos.plan import FaultPlan, FaultPlanError, FaultSpec
-from repro.errors import HostUnavailableError
-from repro.fisherman.evidence import GOSSIP_TOPIC, BlockClaim
+from repro.crypto.hashing import Hash
+from repro.errors import HostUnavailableError, UnknownBlockError
+from repro.fisherman.evidence import (
+    FINALISATION_TOPIC,
+    GOSSIP_TOPIC,
+    BlockClaim,
+    FinalisationClaim,
+)
 from repro.guest.block import sign_message
 from repro.sim.rng import Rng
 
@@ -120,6 +127,10 @@ class ChaosInjector:
         #: One entry per spec, filled in as faults fire and recover;
         #: embedded verbatim in ``BENCH_chaos.json``.
         self.log: list[dict] = []
+        #: spec index -> colluding validator keys, recorded when a
+        #: quorum equivocation fires (drives its recovery predicate and
+        #: the soak's attribution invariant).
+        self._quorum_offenders: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Arming
@@ -184,6 +195,8 @@ class ChaosInjector:
             for delay in self._repeat_offsets(spec):
                 self.sim.schedule(delay, self._send_bad_signature,
                                   spec.target_index())
+        elif kind == "validator_quorum_equivocate":
+            self._quorum_equivocate(index, spec)
         elif kind == "relayer_crash":
             self.deployment.relayer.crash()
         elif kind == "cranker_crash":
@@ -246,6 +259,71 @@ class ChaosInjector:
         self.sim.trace.count("chaos.equivocations.published")
         self.deployment.gossip.publish(GOSSIP_TOPIC, claim)
 
+    def _quorum_equivocate(self, index: int, spec: FaultSpec) -> None:
+        """A colluding quorum finalises a fork: the stake-heaviest
+        subset of the latest finalised block's signers that carries
+        quorum power co-signs a header identical but for a forged state
+        root, and gossips the whole finalisation.  This is the §III-C
+        worst case — no single signature is individually refutable
+        without the real finalisation — and exactly what an
+        AccountabilityProof prosecutes (docs/ACCOUNTABILITY.md)."""
+        contract = self.deployment.contract
+        if not contract.initialized:
+            return
+        block = None
+        for height in range(contract.head.height, -1, -1):
+            try:
+                candidate = contract.block_at(height)
+            except UnknownBlockError:
+                continue
+            if candidate.finalised:
+                block = candidate
+                break
+        if block is None:
+            return  # nothing finalised yet: no conflict to manufacture
+        epoch = contract.epochs.get(block.header.epoch_id)
+        if epoch is None:
+            return
+        keypairs = {node.keypair.public_key: node.keypair
+                    for node in self.deployment.validators}
+        signers = [public_key for public_key in block.signers
+                   if public_key in keypairs]
+        signers.sort(key=lambda pk: (-epoch.validators.get(pk, 0), bytes(pk)))
+        if spec.target is not None:
+            # Force the targeted validator to the front so the colluding
+            # set provably overlaps other faults aimed at it (keeps the
+            # combined storm from ejecting every candidate at once).
+            preferred = self.deployment.validator_keypair(
+                spec.target_index()).public_key
+            if preferred in signers:
+                signers.remove(preferred)
+                signers.insert(0, preferred)
+        colluders: list = []
+        power = 0
+        for public_key in signers:
+            colluders.append(public_key)
+            power += epoch.validators.get(public_key, 0)
+            if power >= epoch.quorum_stake:
+                break
+        if power < epoch.quorum_stake:
+            return  # cannot reach quorum with controllable keys
+        forged = replace(block.header, state_root=Hash(self._rng.bytes(32)))
+        message = forged.sign_message()
+        claim = FinalisationClaim(
+            header=forged,
+            signatures=tuple(
+                (public_key, keypairs[public_key].sign(message))
+                for public_key in sorted(colluders, key=bytes)
+            ),
+        )
+        self._quorum_offenders[index] = tuple(sorted(colluders, key=bytes))
+        for delay in self._repeat_offsets(spec):
+            self.sim.schedule(delay, self._publish_finalisation, claim)
+
+    def _publish_finalisation(self, claim: FinalisationClaim) -> None:
+        self.sim.trace.count("chaos.quorum_equivocations.published")
+        self.deployment.gossip.publish(FINALISATION_TOPIC, claim)
+
     def _send_bad_signature(self, validator_index: int) -> None:
         """Submit a Sign transaction whose precompile entry verifies —
         the signature genuinely covers the submitted message — but whose
@@ -284,7 +362,7 @@ class ChaosInjector:
         """Poll until the fault's recovery predicate holds, then record
         the elapsed time past the window's end."""
         spec = self.plan.specs[index]
-        if self._recovered(spec):
+        if self._recovered(index, spec):
             self.sim.trace.observe(
                 f"chaos.recovery_seconds.{spec.kind}", waited)
             self.log[index]["recovered_after"] = waited
@@ -296,7 +374,7 @@ class ChaosInjector:
         self.sim.schedule(WATCH_POLL_SECONDS, self._watch_recovery,
                           index, waited + WATCH_POLL_SECONDS)
 
-    def _recovered(self, spec: FaultSpec) -> bool:
+    def _recovered(self, index: int, spec: FaultSpec) -> bool:
         kind = spec.kind
         relayer = self.deployment.relayer
         if kind in ("host_blackout", "host_tx_drop", "host_fee_spike",
@@ -313,6 +391,19 @@ class ChaosInjector:
             keypair = self.deployment.validator_keypair(spec.target_index())
             return self.deployment.contract.staking.stake_of(
                 keypair.public_key) == 0
+        if kind == "validator_quorum_equivocate":
+            offenders = self._quorum_offenders.get(index)
+            if offenders is None:
+                return True  # never fired (nothing finalised): vacuous
+            contract = self.deployment.contract
+            spared: set[str] = set()
+            for record in contract.accountability_slashes:
+                spared.update(record["spared"])
+            # Recovered when every colluder is either slashed to zero or
+            # provably spared by the contract's liveness floor.
+            return all(contract.staking.stake_of(pk) == 0
+                       or pk.short() in spared
+                       for pk in offenders)
         if kind == "cranker_crash":
             return not self.deployment.cranker.paused
         return True

@@ -32,6 +32,19 @@ actors
                                sign transactions (spread over ``duration``)
                                whose precompile entry does not verify
                                against the block message.
+    ``validator_quorum_equivocate``
+                               a colluding quorum double-finalises: the
+                               smallest stake-heaviest validator subset
+                               carrying quorum power co-signs a forged
+                               header at the latest finalised height and
+                               gossips the finalisation ``magnitude``
+                               times over ``duration`` seconds.  An
+                               optional ``target`` index is forced into
+                               the colluding set (so a storm can align
+                               it with other per-validator faults).  The
+                               fisherman answers with an
+                               AccountabilityProof that slashes the whole
+                               intersection (docs/ACCOUNTABILITY.md).
     ``relayer_crash``          the relayer halts, loses volatile state and
                                restarts after ``duration`` seconds.
     ``cranker_crash``          the cranker halts and restarts after
@@ -64,6 +77,7 @@ FAULT_KINDS: dict[str, tuple[bool, bool, bool, bool]] = {
     "validator_crash": (True, True, False, False),
     "validator_equivocate": (False, True, False, True),
     "validator_bad_signature": (False, True, False, True),
+    "validator_quorum_equivocate": (False, False, False, True),
     "relayer_crash": (True, False, False, False),
     "cranker_crash": (True, False, False, False),
 }

@@ -227,6 +227,7 @@ class Deployment:
             self.fisherman = Fisherman(
                 self.sim, self.gossip, self.contract,
                 GuestApi(self.host, self.contract, fisherman_payer),
+                guest_client=self.guest_client,
             )
 
         # User accounts for workloads and examples.

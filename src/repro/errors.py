@@ -169,6 +169,26 @@ class EvidenceError(ReproError):
     """A piece of misbehaviour evidence failed validation."""
 
 
+class AccountabilityError(EvidenceError):
+    """An :class:`~repro.accountability.AccountabilityProof` failed
+    verification (malformed, sub-quorum sides, thin intersection, or an
+    invalid signature)."""
+
+
+class EquivocationError(ClientError):
+    """A light client observed two conflicting finalisations and froze.
+
+    When the client runs in accountable mode the exception carries the
+    :class:`~repro.accountability.AccountabilityProof` it constructed, so
+    callers (the guest contract, the fisherman) can forward the evidence
+    on-chain instead of merely halting.
+    """
+
+    def __init__(self, message: str, proof=None) -> None:
+        super().__init__(message)
+        self.proof = proof
+
+
 # ---------------------------------------------------------------------------
 # Simulation kernel
 # ---------------------------------------------------------------------------

@@ -11,9 +11,11 @@ plus the operational targets ``throughput-smoke`` (CI assertions),
 ``cluster`` (sharded multi-process sweep), ``replay-audit``
 (checkpoint/restore/replay divergence check), ``chaos-soak`` (the
 docs/CHAOS.md fault storm with its fault-free twin), ``chaos-smoke``
-(the scaled-down asserting variant CI runs), ``state-sweep`` (the
-multi-million-packet sealing-scheduler comparison of docs/STATE.md)
-and ``state-smoke`` (its CI-scale asserting variant).
+(the scaled-down asserting variant CI runs), ``accountability-smoke``
+(the docs/ACCOUNTABILITY.md equivocation storm: three seeds, run twice
+each, asserting attributable slashing and bit-reproducibility),
+``state-sweep`` (the multi-million-packet sealing-scheduler comparison
+of docs/STATE.md) and ``state-smoke`` (its CI-scale asserting variant).
 """
 
 from __future__ import annotations
@@ -32,8 +34,9 @@ _EVALUATION_TARGETS = {"fig2", "fig3", "fig4", "fig5", "table1", "recv"}
 #: of ``all``.
 _ALL_TARGETS = sorted(_EVALUATION_TARGETS | {"fig6", "storage", "throughput"})
 _EXTRA_TARGETS = {"throughput-smoke", "cluster", "replay-audit",
-                  "chaos-soak", "chaos-smoke", "profile-soak",
-                  "wallclock-smoke", "topology-sweep", "topology-smoke",
+                  "chaos-soak", "chaos-smoke", "accountability-smoke",
+                  "profile-soak", "wallclock-smoke",
+                  "topology-sweep", "topology-smoke",
                   "state-sweep", "state-smoke"}
 
 
@@ -194,6 +197,28 @@ def main(argv: list[str] | None = None) -> int:
             print("\n\n".join(blocks))
             for failure in failures:
                 print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+            return 1
+
+    if "accountability-smoke" in targets:
+        import json
+
+        from repro.experiments.accountability import (
+            check_accountability_smoke, render_accountability,
+            run_accountability_smoke,
+        )
+        started = time.time()
+        print("Running the accountability smoke (equivocation storm, "
+              "3 seeds x 2 runs)...", file=sys.stderr)
+        record = run_accountability_smoke()
+        print(f"  done in {time.time() - started:.1f} s", file=sys.stderr)
+        blocks.append(render_accountability(record))
+        with open("BENCH_accountability_smoke.json", "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        failures = check_accountability_smoke(record)
+        if failures:
+            print("\n\n".join(blocks))
+            for failure in failures:
+                print(f"ACCOUNTABILITY FAILURE: {failure}", file=sys.stderr)
             return 1
 
     if targets & {"topology-sweep", "topology-smoke"}:

@@ -5,8 +5,11 @@ The storm combines every fault layer (docs/CHAOS.md) on one deployment:
 a host RPC blackout, probabilistic transaction drops, a pinned fee
 spike, a slot stall, gossip loss/partition, a crashed validator, an
 equivocating validator (prosecuted by the fisherman, slashed, and
-rotated out of the quorum), and relayer/cranker crashes — while an
-open-loop ICS-20 workload keeps offering packets at a constant rate.
+rotated out of the quorum), a colluding quorum that double-finalises a
+fork (answered by an on-chain AccountabilityProof slashing the whole
+double-signing intersection, docs/ACCOUNTABILITY.md), and
+relayer/cranker crashes — while an open-loop ICS-20 workload keeps
+offering packets at a constant rate.
 
 Convergence is judged three ways:
 
@@ -97,6 +100,12 @@ def storm_plan(config: ChaosSoakConfig) -> FaultPlan:
              target=str(config.byzantine_validator), magnitude=6)
     plan.add("validator_bad_signature", at=120.0, duration=10.0,
              target=str(config.byzantine_validator), magnitude=3)
+    # Accountable-safety worst case: a whole quorum double-finalises.
+    # The target pins the byzantine validator into the colluding set so
+    # the two slashing paths overlap instead of ejecting every
+    # candidate between them.
+    plan.add("validator_quorum_equivocate", at=110.0, duration=30.0,
+             target=str(config.byzantine_validator), magnitude=5)
     plan.add("relayer_crash", at=170.0, duration=20.0)
     plan.add("cranker_crash", at=230.0, duration=15.0)
     return plan.validate()
@@ -231,6 +240,29 @@ def run_chaos_soak(config: ChaosSoakConfig = ChaosSoakConfig(),
     if not excluded:
         failures.append("equivocating validator still in the current epoch")
 
+    # Accountable safety: every seeded quorum equivocation must end in
+    # an on-chain AccountabilityProof whose offender set carries >= 1/3
+    # of the epoch's voting power; the fault-free twin must never slash.
+    slashes = list(dep.contract.accountability_slashes)
+    seeded_equivocations = len(injector._quorum_offenders)
+    attributed = (
+        len(slashes) >= seeded_equivocations
+        and all(rec["offender_stake"] * 3 >= rec["total_stake"]
+                for rec in slashes)
+    )
+    invariants["safety_violation_attributed"] = attributed
+    if not attributed:
+        failures.append(
+            f"safety violations not attributed: {seeded_equivocations} "
+            f"seeded, {len(slashes)} slashed on chain")
+    twin_untouched = (
+        not twin.contract.accountability_slashes
+        and not (twin.fisherman and twin.fisherman.accountability_reports)
+    )
+    invariants["twin_accountability_untouched"] = twin_untouched
+    if not twin_untouched:
+        failures.append("fault-free twin recorded accountability slashes")
+
     fingerprint = ledger_fingerprint(dep)
     twin_fingerprint = ledger_fingerprint(twin)
     invariants["differential_match"] = fingerprint == twin_fingerprint
@@ -251,7 +283,8 @@ def run_chaos_soak(config: ChaosSoakConfig = ChaosSoakConfig(),
     }
     chaos_counters = {
         name: count for name, count in sorted(trace.counters.items())
-        if name.startswith(("chaos.", "relay.", "fisherman.", "gossip."))
+        if name.startswith(("chaos.", "relay.", "fisherman.", "gossip.",
+                            "guest.accountability."))
     }
     report = engine.report()
     return {
@@ -277,6 +310,20 @@ def run_chaos_soak(config: ChaosSoakConfig = ChaosSoakConfig(),
             "crashes": dep.relayer.metrics.crashes,
         },
         "counters": chaos_counters,
+        "accountability": {
+            "seeded_equivocations": seeded_equivocations,
+            "slashes_attributed": len(slashes),
+            "slashes": slashes,
+            "burned_total": dep.contract.burned_total,
+            "proof_submissions": [
+                {"proof_id": report.proof_id, "height": report.height,
+                 "offender_count": report.offender_count,
+                 "accepted": report.accepted, "error": report.error}
+                for report in (dep.fisherman.accountability_reports
+                               if dep.fisherman else ())
+            ],
+            "twin_slashes": len(twin.contract.accountability_slashes),
+        },
         "fingerprints": {"chaos": fingerprint, "fault_free": twin_fingerprint},
         "invariants": invariants,
         "failures": failures,
@@ -307,9 +354,26 @@ def check_chaos_smoke(record: dict) -> list[str]:
         failures.append("record not converged")
     invariants = record.get("invariants", {})
     for name in ("conservation", "exactly_once", "offender_slashed",
-                 "offender_out_of_quorum", "differential_match"):
+                 "offender_out_of_quorum", "differential_match",
+                 "safety_violation_attributed",
+                 "twin_accountability_untouched"):
         if not invariants.get(name):
             failures.append(f"invariant {name} failed")
+    accountability = record.get("accountability")
+    if not isinstance(accountability, dict):
+        failures.append("record missing the accountability section")
+    else:
+        if not isinstance(accountability.get("slashes_attributed"), int):
+            failures.append("accountability.slashes_attributed missing")
+        elif accountability["slashes_attributed"] < 1:
+            failures.append("storm produced no attributed slashes")
+        for rec in accountability.get("slashes", ()):
+            if rec["offender_stake"] * 3 < rec["total_stake"]:
+                failures.append(
+                    f"slash at height {rec['height']} attributed "
+                    f"< 1/3 of voting power")
+        if accountability.get("twin_slashes"):
+            failures.append("fault-free twin was slashed")
     workload = record.get("workload", {})
     if workload.get("delivered", 0) <= 0:
         failures.append("no packets delivered through the storm")
@@ -344,6 +408,13 @@ def render_chaos(record: dict) -> str:
         lines.append(
             f"  recovery {kind}: p50 {summary['p50']:.1f} s, "
             f"p99 {summary['p99']:.1f} s")
+    accountability = record.get("accountability", {})
+    if accountability:
+        lines.append(
+            f"  accountability: {accountability['slashes_attributed']} "
+            f"slash(es) for {accountability['seeded_equivocations']} seeded "
+            f"equivocation(s), {accountability['burned_total']} "
+            f"lamports burned")
     verdicts = ", ".join(
         f"{name}={'ok' if value else 'FAIL'}"
         for name, value in record["invariants"].items())

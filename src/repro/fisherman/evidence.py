@@ -19,12 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.keys import Keypair, PublicKey, Signature
-from repro.guest.block import sign_message
+from repro.guest.block import GuestBlockHeader, sign_message
 from repro.host.events import HostEvent
 from repro.sim.gossip import GossipNetwork
 from repro.sim.kernel import Simulation
 
 GOSSIP_TOPIC = "guest-block-signatures"
+#: Whole (possibly forged) finalisations: a header plus a signature set
+#: claiming quorum.  Conflicting ones are the raw material of
+#: accountability proofs (docs/ACCOUNTABILITY.md).
+FINALISATION_TOPIC = "guest-finalisations"
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,27 @@ class BlockClaim:
 
     def message(self) -> bytes:
         return sign_message(self.height, self.fingerprint)
+
+
+@dataclass(frozen=True)
+class FinalisationClaim:
+    """A (possibly forged) finalisation seen on gossip: a full header
+    and the signature set said to finalise it.
+
+    A colluding quorum that split-brains the guest produces one of these
+    for the fork; the fisherman pairs it with the real finalisation at
+    the same height to build an :class:`~repro.accountability.
+    AccountabilityProof` naming the double-signing intersection.
+    """
+
+    header: GuestBlockHeader
+    signatures: tuple[tuple[PublicKey, Signature], ...]
+
+    def fingerprint(self) -> bytes:
+        return self.header.fingerprint()
+
+    def message(self) -> bytes:
+        return self.header.sign_message()
 
 
 class ByzantineValidator:

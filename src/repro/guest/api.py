@@ -254,6 +254,20 @@ class GuestApi:
             on_result=on_result,
         )
 
+    def submit_accountability_proof(
+            self, proof,
+            tip_lamports: int = 10_000,
+            on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
+        """Prosecute an equivocation on chain (docs/ACCOUNTABILITY.md).
+
+        An :class:`~repro.accountability.AccountabilityProof` carries two
+        full signature sets, far past the transaction cap, so it is
+        staged through CHUNK transactions and executed atomically as one
+        bundle — the same path oversized packets take.
+        """
+        self._buffered_exec(proof.to_bytes(), ins.accountability,
+                            tip_lamports, on_done)
+
     def submit_handshake(self, msg,
                          on_done: Optional[Callable[[DeliveryResult], None]] = None) -> None:
         """Ship one IBC handshake datagram to the guest — inline when it

@@ -58,6 +58,17 @@ class GuestConfig:
     #: light-client updates, bounding how fast an attacker who broke the
     #: counterparty could advance the client (None disables).
     lc_min_update_interval: float | None = None
+    #: Stake fraction burned from each validator in an accountability
+    #: proof's double-signing intersection (docs/ACCOUNTABILITY.md).
+    #: Equivocation is the protocol's cardinal sin, so the default burns
+    #: everything — bonded and unbonding alike.
+    accountability_slash_fraction: Fraction = Fraction(1, 1)
+    #: Share of the burned stake paid to whoever submitted the proof.
+    accountability_reward_fraction: Fraction = Fraction(1, 10)
+    #: Liveness floor: an accountability slash never ejects a candidate
+    #: when doing so would leave fewer than this many eligible for the
+    #: next epoch (the offender is spared and recorded instead).
+    min_live_validators: int = 1
 
     def quorum_stake(self, total_stake: int) -> int:
         """Smallest signed stake that finalises a block: strictly more

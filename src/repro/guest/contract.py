@@ -25,6 +25,8 @@ Instruction map (see :mod:`repro.guest.instructions`):
 ``CONFIRM_ACK``    seal a no-longer-needed ack entry (§III-A)
 ``STAKE`` etc.     §III-B Proof-of-Stake staking pool
 ``EVIDENCE``       §III-C Fisherman misbehaviour reports → slashing
+``ACCOUNTABILITY`` staged equivocation proof → slash the double-signing
+                   quorum intersection (docs/ACCOUNTABILITY.md)
 =================  =======================================================
 """
 
@@ -33,11 +35,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.accountability import (
+    AccountabilityProof,
+    apply_accountability_slash,
+    verify_proof,
+)
 from repro.crypto.hashing import Hash
 from repro.crypto.keys import PublicKey, Signature
 from repro.encoding import Reader
 from repro.errors import (
+    AccountabilityError,
     AlreadySignedError,
+    EquivocationError,
     GuestError,
     HeadNotFinalisedError,
     ProgramError,
@@ -73,6 +82,10 @@ class _Buffer:
     chunks: dict[int, bytes] = field(default_factory=dict)
     #: Runtime-verified (public key, message) pairs credited so far.
     verified_signers: list[tuple[PublicKey, bytes]] = field(default_factory=list)
+    #: The same entries with their raw signatures retained, so the
+    #: counterparty client can build accountability proofs on conflict.
+    verified_entries: list[tuple[PublicKey, bytes, Signature]] = field(
+        default_factory=list)
 
     def is_complete(self) -> bool:
         return len(self.chunks) == self.total_chunks
@@ -135,6 +148,14 @@ class GuestContract(Program):
         self.fees_collected = 0
         #: Packet fees awaiting distribution at the next finalisation.
         self._undistributed_fees = 0
+        #: Proof ids already prosecuted (double-prosecution protection).
+        self.prosecuted_proofs: set[bytes] = set()
+        #: One record per accepted ACCOUNTABILITY instruction, in order
+        #: (the chaos soak folds these into ``BENCH_chaos.json``).
+        self.accountability_slashes: list[dict] = []
+        #: Lamports burned by accountability slashes (slashed minus the
+        #: submitter rewards) — kept for stake-conservation accounting.
+        self.burned_total = 0
         #: Accrued (unclaimed) signing rewards per validator (§V-C).
         self.reward_balances: dict[PublicKey, int] = {}
         self.initialized = False
@@ -209,6 +230,8 @@ class GuestContract(Program):
             self._op_confirm_ack(ctx, reader)
         elif opcode == Op.EVIDENCE:
             self._op_evidence(ctx, reader)
+        elif opcode == Op.ACCOUNTABILITY:
+            self._op_accountability(ctx, reader)
         elif opcode == Op.HANDSHAKE:
             self._op_handshake(ctx, reader.read_bytes())
         elif opcode == Op.HANDSHAKE_EXEC:
@@ -521,6 +544,7 @@ class GuestContract(Program):
         if not ctx.verified_signatures:
             raise ProgramError("no runtime-verified signatures on this transaction")
         buffer.verified_signers.extend(ctx.verified_signatures)
+        buffer.verified_entries.extend(ctx.verified_signature_entries)
 
     def _buffer(self, owner: Address, buffer_id: int) -> _Buffer:
         buffer = self._buffers.get((owner, buffer_id))
@@ -574,9 +598,27 @@ class GuestContract(Program):
             for public_key, signed in buffer.verified_signers
             if signed == message
         }
-        client.apply_verified(header, signers, valset)
-        self._last_lc_update_time = ctx.unix_time
+        signatures = {
+            public_key: signature
+            for public_key, signed, signature in buffer.verified_entries
+            if signed == message
+        }
         trace = ctx.chain.sim.trace
+        try:
+            client.apply_verified(header, signers, valset,
+                                  signatures=signatures)
+        except EquivocationError as exc:
+            # Accountable mode: the client froze *and* built an
+            # attributable proof.  Land the evidence on chain instead of
+            # failing the transaction, so watchers can prosecute the
+            # double-signers on the counterparty.
+            trace.count("guest.lc.equivocations")
+            proof = exc.proof
+            ctx.emit("CounterpartyEquivocation", guest=self.chain_id,
+                     height=header.height,
+                     proof=b"" if proof is None else proof.to_bytes())
+            return
+        self._last_lc_update_time = ctx.unix_time
         trace.count("guest.lc.updates")
         trace.observe("guest.lc.verified_signers", len(signers))
         ctx.emit("CounterpartyClientUpdated", guest=self.chain_id,
@@ -882,6 +924,88 @@ class GuestContract(Program):
         ctx.accounts_db.transfer(self.treasury, ctx.payer, reward)
         ctx.emit("ValidatorSlashed", guest=self.chain_id, validator=public_key,
                  slashed=slashed, reward=reward, offence=offence, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Accountable safety (docs/ACCOUNTABILITY.md)
+    # ------------------------------------------------------------------
+
+    def _op_accountability(self, ctx: InvokeContext, reader: Reader) -> None:
+        """Prosecute an equivocation: slash the double-signing quorum.
+
+        The staged buffer holds an :class:`AccountabilityProof` — two
+        conflicting finalisations of one guest height with both raw
+        signature sets.  The proof is self-contained: verification only
+        needs the epoch it names (both sides may be forgeries; whoever
+        signed them both still equivocated).  Offenders lose
+        ``accountability_slash_fraction`` of their stake and are ejected
+        from candidacy, subject to the ``min_live_validators`` floor.
+        """
+        self._require_initialized()
+        buffer_id = reader.read_varint()
+        reader.expect_end()
+        buffer = self._consume_buffer(ctx.payer, buffer_id)
+        raw = buffer.assembled()
+        ctx.meter.charge_hash(len(raw))
+        proof = AccountabilityProof.from_bytes(raw)
+        if proof.chain_id != self.chain_id:
+            raise GuestError(
+                f"proof is for chain {proof.chain_id!r}, not {self.chain_id!r}")
+        proof_id = bytes(proof.proof_id())
+        if proof_id in self.prosecuted_proofs:
+            raise GuestError("equivocation already prosecuted")
+        epoch = self.epochs_by_hash.get(Hash(proof.valset_hash))
+        if epoch is None:
+            raise GuestError("proof references an unknown validator epoch")
+        # Protocol binding: each side's sign-bytes must be the guest
+        # block-sign message over the claimed height and commitment, or
+        # the height/commitment fields could lie about what was signed.
+        for fin in (proof.first, proof.second):
+            if fin.sign_bytes != sign_message(proof.height, fin.commitment):
+                raise AccountabilityError(
+                    "finalisation sign-bytes do not bind the claimed height")
+        offenders = verify_proof(
+            proof,
+            powers=epoch.validators,
+            total_power=epoch.total_stake,
+            quorum_power=epoch.quorum_stake,
+            batch_verify=ctx.verify_signature_set,
+        )
+        outcome = apply_accountability_slash(
+            self.staking, offenders,
+            fraction=self.config.accountability_slash_fraction,
+            min_live=self.config.min_live_validators,
+        )
+        fraction = self.config.accountability_reward_fraction
+        reward = (outcome.total_slashed * fraction.numerator
+                  ) // fraction.denominator
+        if reward:
+            ctx.accounts_db.transfer(self.treasury, ctx.payer, reward)
+        burned = outcome.total_slashed - reward
+        self.burned_total += burned
+        self.prosecuted_proofs.add(proof_id)
+        offender_stake = sum(epoch.stake(pk) for pk in offenders)
+        self.accountability_slashes.append({
+            "height": proof.height,
+            "proof_id": proof_id.hex(),
+            "epoch_id": epoch.epoch_id,
+            "offenders": [pk.short() for pk in outcome.offenders],
+            "ejected": [pk.short() for pk in outcome.ejected],
+            "spared": [pk.short() for pk in outcome.spared],
+            "slashed": outcome.total_slashed,
+            "burned": burned,
+            "reward": reward,
+            "offender_stake": offender_stake,
+            "total_stake": epoch.total_stake,
+        })
+        trace = ctx.chain.sim.trace
+        trace.count("guest.accountability.slashes")
+        trace.observe("guest.accountability.offenders", len(offenders))
+        ctx.emit("EquivocationSlashed", guest=self.chain_id,
+                 height=proof.height, proof_id=proof_id,
+                 validators=outcome.ejected, spared=outcome.spared,
+                 slashed=outcome.total_slashed, burned=burned, reward=reward,
+                 offender_stake=offender_stake,
+                 total_stake=epoch.total_stake)
 
     # ------------------------------------------------------------------
     # Helpers, accounting, proof serving

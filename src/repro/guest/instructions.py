@@ -40,6 +40,7 @@ class Op(enum.IntEnum):
     CLAIM_REWARDS = 18
     BATCH_EXEC = 19
     SIBLING_UPDATE = 20
+    ACCOUNTABILITY = 21
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +136,11 @@ def confirm_ack(port: str, channel: str, sequence: int) -> bytes:
 
 def evidence(kind: int, payload: bytes) -> bytes:
     return bytes([Op.EVIDENCE]) + encode_varint(kind) + encode_bytes(payload)
+
+
+def accountability(buffer_id: int) -> bytes:
+    """Prosecute an equivocation proof staged through CHUNK transactions."""
+    return bytes([Op.ACCOUNTABILITY]) + encode_varint(buffer_id)
 
 
 def handshake(msg_bytes: bytes) -> bytes:

@@ -161,3 +161,25 @@ class StakingPool:
 
     def candidate_count(self) -> int:
         return len(self._bonds)
+
+    def eligible_count(self) -> int:
+        """Candidates that would survive :meth:`select_epoch` selection."""
+        return sum(
+            1 for bond in self._bonds.values()
+            if bond.stake >= self._config.min_stake_lamports
+        )
+
+    def is_eligible(self, candidate: PublicKey) -> bool:
+        return self.stake_of(candidate) >= self._config.min_stake_lamports
+
+    def locked_total(self) -> int:
+        """All lamports the pool holds: bonded plus every unbonding entry.
+
+        Slashing accounting pivots on this number — a slash of ``s``
+        lamports must reduce it by exactly ``s`` (stake conservation).
+        """
+        total = 0
+        for bond in self._bonds.values():
+            total += bond.stake
+            total += sum(amount for amount, _ in bond.unbonding)
+        return total

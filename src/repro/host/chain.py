@@ -498,6 +498,10 @@ class HostChain:
                 bundle_id=pending.bundle_id,
             )
         verified = [(e.public_key, e.message) for e in transaction.sig_verifies]
+        verified_entries = [
+            (e.public_key, e.message, e.signature)
+            for e in transaction.sig_verifies
+        ]
 
         meter = ComputeMeter(
             min(transaction.compute_budget or self.config.max_compute_units,
@@ -525,6 +529,7 @@ class HostChain:
                     slot=self.slot,
                     unix_time=self.sim.now,
                     verified_signatures=tuple(verified),
+                    verified_signature_entries=tuple(verified_entries),
                 )
                 program.execute(ctx, instruction.data)
                 events.extend(ctx.emitted_events)

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.crypto.keys import PublicKey
+from repro.crypto.keys import PublicKey, Signature
 from repro.errors import MissingSignerError, ProgramError
 from repro.host.accounts import Account, AccountsDb, Address
 from repro.host.compute import ComputeMeter
@@ -39,6 +39,11 @@ class InvokeContext:
     #: (public_key, message) pairs whose signatures the runtime verified
     #: before execution (the Ed25519-precompile pattern).
     verified_signatures: tuple[tuple[PublicKey, bytes], ...]
+    #: The same entries with their raw signatures, for programs that must
+    #: *retain* the cryptographic material (accountability proofs need
+    #: both signature sets on chain, not just the verification verdict).
+    verified_signature_entries: tuple[
+        tuple[PublicKey, bytes, Signature], ...] = ()
     emitted_events: list[HostEvent] = field(default_factory=list)
 
     def account(self, address: Address) -> Account:
@@ -66,6 +71,19 @@ class InvokeContext:
         """Did the runtime verify a signature by ``public_key`` over
         ``message`` in this transaction?"""
         return (public_key, message) in self.verified_signatures
+
+    def verify_signature_set(
+        self, entries: "Sequence[tuple[PublicKey, bytes, Signature]]"
+    ) -> bool:
+        """The slashing precompile: batch-verify signatures *carried in
+        instruction data* rather than in the transaction's precompile
+        list.  Accountability proofs arrive chunked through a staging
+        buffer, so their signatures cannot ride ``sig_verifies``; the
+        program pays the same per-signature compute the runtime would
+        have charged and gets the same all-or-nothing verdict."""
+        scheme = self.chain.scheme
+        self.meter.charge(scheme.VERIFY_COMPUTE_UNITS * len(entries))
+        return scheme.verify_batch(entries)
 
 
 class Program(abc.ABC):

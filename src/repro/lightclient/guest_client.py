@@ -16,10 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.accountability import (
+    AccountabilityProof,
+    Finalisation,
+    build_proof,
+    verify_proof,
+)
 from repro.crypto.hashing import Hash
 from repro.crypto.keys import PublicKey, Signature, SignatureScheme
-from repro.errors import ClientError, EvidenceError
-from repro.guest.block import GuestBlockHeader
+from repro.errors import AccountabilityError, ClientError, EvidenceError
+from repro.guest.block import GuestBlockHeader, sign_message
 from repro.guest.epoch import Epoch
 from repro.ibc.client import LightClient
 
@@ -38,7 +44,7 @@ class GuestLightClient(LightClient):
     """Stake-quorum verification of guest block headers."""
 
     def __init__(self, scheme: SignatureScheme, genesis_epoch: Epoch,
-                 chain_id: str = "guest") -> None:
+                 chain_id: str = "guest", accountable: bool = True) -> None:
         super().__init__()
         self.scheme = scheme
         self.epoch = genesis_epoch
@@ -48,6 +54,28 @@ class GuestLightClient(LightClient):
         #: height -> (state root, timestamp)
         self._consensus: dict[int, tuple[Hash, float]] = {}
         self._latest = 0
+        #: Accountable-safety mode (docs/ACCOUNTABILITY.md): retain each
+        #: adopted finalisation's signatures so a conflicting one yields
+        #: an :class:`AccountabilityProof` instead of a bare freeze.
+        self.accountable = accountable
+        #: height -> (fingerprint, epoch hash, adopted signature set)
+        self._finalisations: dict[
+            int, tuple[bytes, bytes, dict[PublicKey, Signature]]] = {}
+        #: Every epoch this client ever trusted, by canonical hash —
+        #: proofs name the epoch they indict via this hash.
+        self._epochs_by_hash: dict[bytes, Epoch] = {
+            bytes(genesis_epoch.canonical_hash()): genesis_epoch}
+        #: Proofs this client constructed on observing a conflict.
+        self.equivocation_proofs: list[AccountabilityProof] = []
+        #: Validators proven (via :meth:`register_accountability`) to
+        #: have double-signed.  Their stake no longer counts toward the
+        #: skipping-trust overlap rule: once a colluding quorum is
+        #: slashed on chain, the replacement epoch's honest signers
+        #: might hold less than one third of the *nominal* trusted
+        #: stake, and without the discount the client would be wedged
+        #: at the next rotation even though every unpunished validator
+        #: vouched for it.
+        self.proven_offenders: set[PublicKey] = set()
 
     # ------------------------------------------------------------------
     # LightClient interface
@@ -138,16 +166,30 @@ class GuestLightClient(LightClient):
                 f"quorum is {epoch.quorum_stake}"
             )
         if skipping:
-            overlap = self.epoch.signed_stake(valid_signers)
-            if overlap * 3 <= self.epoch.total_stake:
+            # Discount proven double-signers from both sides of the
+            # overlap rule: they are no longer trustworthy vouchers, and
+            # keeping their stake in the denominator would wedge the
+            # client after an on-chain quorum slash.
+            offenders = {
+                public_key for public_key in self.proven_offenders
+                if self.epoch.is_validator(public_key)
+            }
+            effective_total = (self.epoch.total_stake
+                               - self.epoch.signed_stake(offenders))
+            overlap = self.epoch.signed_stake(valid_signers - offenders)
+            if effective_total > 0 and overlap * 3 <= effective_total:
                 raise ClientError(
                     f"epoch transition signers hold {overlap} of the trusted "
-                    f"epoch's {self.epoch.total_stake} stake; need more than 1/3"
+                    f"epoch's {effective_total} unindicted stake; need more "
+                    f"than 1/3"
                 )
 
         known = self._consensus.get(header.height)
         if known is not None and known[0] != header.state_root:
             # Conflicting finalised blocks at one height: equivocation.
+            if self.accountable:
+                self._build_conflict_proof(header, epoch, valid_signers,
+                                           update.signatures)
             self.freeze()
             raise EvidenceError(
                 f"conflicting guest blocks at height {header.height}; client frozen"
@@ -155,8 +197,94 @@ class GuestLightClient(LightClient):
 
         self._consensus[header.height] = (header.state_root, header.timestamp)
         self._latest = max(self._latest, header.height)
+        if self.accountable:
+            self._finalisations[header.height] = (
+                header.fingerprint(),
+                bytes(epoch.canonical_hash()),
+                {public_key: update.signatures[public_key]
+                 for public_key in valid_signers},
+            )
         if epoch is not self.epoch:
             self.epoch = epoch
+            self._epochs_by_hash.setdefault(
+                bytes(epoch.canonical_hash()), epoch)
+
+    # ------------------------------------------------------------------
+    # Accountable safety (docs/ACCOUNTABILITY.md)
+    # ------------------------------------------------------------------
+
+    def _build_conflict_proof(self, header: GuestBlockHeader, epoch: Epoch,
+                              valid_signers: set[PublicKey],
+                              signatures: dict[PublicKey, Signature],
+                              ) -> Optional[AccountabilityProof]:
+        """Turn an observed conflict into an :class:`AccountabilityProof`.
+
+        Needs the retained signature set of the finalisation this client
+        already adopted at the height, under the *same* epoch the new
+        header claims (cross-epoch conflicts stay bare freezes — there
+        is no single validator set to indict)."""
+        record = self._finalisations.get(header.height)
+        if record is None:
+            return None
+        known_fingerprint, known_epoch_hash, known_signatures = record
+        epoch_hash = bytes(epoch.canonical_hash())
+        if known_epoch_hash != epoch_hash:
+            return None
+        fingerprint = header.fingerprint()
+        if fingerprint == known_fingerprint:
+            return None
+        known_side = Finalisation(
+            commitment=known_fingerprint,
+            sign_bytes=sign_message(header.height, known_fingerprint),
+            signatures=tuple(sorted(known_signatures.items(),
+                                    key=lambda item: bytes(item[0]))),
+        )
+        new_side = Finalisation(
+            commitment=fingerprint,
+            sign_bytes=sign_message(header.height, fingerprint),
+            signatures=tuple(sorted(
+                ((public_key, signatures[public_key])
+                 for public_key in valid_signers),
+                key=lambda item: bytes(item[0]))),
+        )
+        proof = build_proof(self.chain_id, header.height, epoch_hash,
+                            known_side, new_side)
+        self.equivocation_proofs.append(proof)
+        return proof
+
+    def register_accountability(self,
+                                proof: AccountabilityProof,
+                                ) -> tuple[PublicKey, ...]:
+        """Verify an equivocation proof and record its double-signers.
+
+        Called by watchers (the fisherman) after the guest chain accepts
+        the proof on-chain.  Does *not* freeze the client: the proof
+        indicts specific validators, not the finalisations this client
+        adopted — their stake simply stops counting toward the
+        skipping-trust overlap rule, which is exactly what lets the
+        client follow the post-slash replacement epoch.  Returns the
+        offenders; raises :class:`EvidenceError` on a bad proof.
+        """
+        if proof.chain_id != self.chain_id:
+            raise EvidenceError(
+                f"proof is for chain {proof.chain_id!r}, not {self.chain_id!r}")
+        epoch = self._epochs_by_hash.get(proof.valset_hash)
+        if epoch is None:
+            raise EvidenceError("proof references an epoch this client "
+                                "never trusted")
+        for fin in (proof.first, proof.second):
+            if fin.sign_bytes != sign_message(proof.height, fin.commitment):
+                raise AccountabilityError(
+                    "finalisation sign-bytes do not bind the claimed height")
+        offenders = verify_proof(
+            proof,
+            powers=epoch.validators,
+            total_power=epoch.total_stake,
+            quorum_power=epoch.quorum_stake,
+            batch_verify=self.scheme.verify_batch,
+        )
+        self.proven_offenders.update(offenders)
+        return offenders
 
     # ------------------------------------------------------------------
     # Misbehaviour (what Fishermen submit, §III-C)
@@ -171,11 +299,42 @@ class GuestLightClient(LightClient):
         # Both must independently verify; reuse update() on throwaway
         # clones so a bogus report cannot corrupt our state.
         for update in (a, b):
-            probe = GuestLightClient(self.scheme, self.epoch)
+            probe = GuestLightClient(self.scheme, self.epoch,
+                                     chain_id=self.chain_id)
             probe._consensus = dict(self._consensus)
             probe._latest = self._latest
             try:
                 probe.update(update)
             except EvidenceError:
                 pass  # the conflict itself trips the probe; that's fine
+        if self.accountable:
+            self._proof_from_updates(a, b)
         self.freeze()
+
+    def _proof_from_updates(self, a: GuestClientUpdate,
+                            b: GuestClientUpdate,
+                            ) -> Optional[AccountabilityProof]:
+        """Build a proof directly from two conflicting verified updates
+        (both must sit in the tracked epoch)."""
+        epoch = self.epoch
+        epoch_hash = bytes(epoch.canonical_hash())
+        sides = []
+        for update in (a, b):
+            header = update.header
+            if header.epoch_hash != epoch.canonical_hash():
+                return None
+            fingerprint = header.fingerprint()
+            members = tuple(sorted(
+                ((public_key, signature)
+                 for public_key, signature in update.signatures.items()
+                 if epoch.is_validator(public_key)),
+                key=lambda item: bytes(item[0])))
+            sides.append(Finalisation(
+                commitment=fingerprint,
+                sign_bytes=sign_message(header.height, fingerprint),
+                signatures=members,
+            ))
+        proof = build_proof(self.chain_id, a.header.height, epoch_hash,
+                            sides[0], sides[1])
+        self.equivocation_proofs.append(proof)
+        return proof

@@ -17,10 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.accountability import (
+    AccountabilityProof,
+    Finalisation,
+    build_proof,
+    verify_proof,
+)
 from repro.crypto.hashing import Hash, hash_concat
 from repro.crypto.keys import PublicKey, Signature, SignatureScheme
 from repro.encoding import Reader, encode_bytes, encode_str, encode_varint
-from repro.errors import ClientError
+from repro.errors import AccountabilityError, ClientError, EquivocationError
 from repro.ibc.client import LightClient
 
 
@@ -194,7 +200,8 @@ class TendermintLightClient(LightClient):
     Contract was initialised against Picasso).
     """
 
-    def __init__(self, chain_id: str, genesis_validators: ValidatorSet) -> None:
+    def __init__(self, chain_id: str, genesis_validators: ValidatorSet,
+                 accountable: bool = True) -> None:
         super().__init__()
         self.chain_id = chain_id
         self._trusted: Optional[ValidatorSet] = (
@@ -205,6 +212,15 @@ class TendermintLightClient(LightClient):
         }
         self._consensus: dict[int, tuple[Hash, float]] = {}
         self._latest = 0
+        #: Accountable-safety mode (docs/ACCOUNTABILITY.md): retain each
+        #: adopted header with its commit signatures so a conflicting
+        #: finalisation yields an :class:`AccountabilityProof`.
+        self.accountable = accountable
+        #: height -> (header, adopted signature set)
+        self._finalisations: dict[
+            int, tuple[CometHeader, dict[PublicKey, Signature]]] = {}
+        #: Proofs this client constructed on observing a conflict.
+        self.equivocation_proofs: list[AccountabilityProof] = []
 
     # ------------------------------------------------------------------
     # LightClient interface
@@ -252,9 +268,17 @@ class TendermintLightClient(LightClient):
         return valset
 
     def apply_verified(self, header: CometHeader, signers: set[PublicKey],
-                       valset: ValidatorSet) -> None:
+                       valset: ValidatorSet,
+                       signatures: Optional[dict[PublicKey, Signature]] = None,
+                       ) -> None:
         """State transition given signers whose signatures are already
         verified (by the host runtime's precompile, in the chunked flow).
+
+        ``signatures`` optionally carries the raw commit signatures for
+        the verified signers; in accountable mode the client retains
+        them per height so a later conflicting finalisation raises
+        :class:`EquivocationError` bearing an attributable
+        :class:`AccountabilityProof` instead of a bare freeze.
         """
         self.ensure_active()
         if header.chain_id != self.chain_id:
@@ -279,15 +303,113 @@ class TendermintLightClient(LightClient):
                 )
         known = self._consensus.get(header.height)
         if known is not None and known[0] != header.app_hash:
+            proof = None
+            if self.accountable:
+                proof = self._build_conflict_proof(header, signers, signatures)
             self.freeze()
+            if proof is not None:
+                raise EquivocationError(
+                    f"conflicting counterparty headers at height "
+                    f"{header.height}; frozen with an accountability proof",
+                    proof=proof,
+                )
             raise ClientError(
                 f"conflicting counterparty headers at height {header.height}; frozen"
             )
         self._consensus[header.height] = (header.app_hash, header.time)
+        if self.accountable and signatures:
+            retained = {
+                public_key: signatures[public_key]
+                for public_key in signers
+                if public_key in signatures
+            }
+            if retained:
+                self._finalisations[header.height] = (header, retained)
         if header.height >= self._latest:
             self._latest = header.height
             self._trusted = valset
         self._known_valsets[header.validators_hash] = valset
+
+    def _build_conflict_proof(self, header: CometHeader,
+                              signers: set[PublicKey],
+                              signatures: Optional[dict[PublicKey, Signature]],
+                              ) -> Optional[AccountabilityProof]:
+        """Turn a conflicting finalisation into an accountability proof.
+
+        Needs the retained commit of the adopted header at this height,
+        raw signatures for the new header, and a shared validator set —
+        otherwise the conflict stays a bare freeze."""
+        if not signatures:
+            return None
+        record = self._finalisations.get(header.height)
+        if record is None:
+            return None
+        known_header, known_signatures = record
+        if known_header.validators_hash != header.validators_hash:
+            return None
+        if known_header.app_hash == header.app_hash:
+            return None
+        known_side = Finalisation(
+            commitment=bytes(known_header.app_hash),
+            sign_bytes=known_header.sign_bytes(),
+            signatures=tuple(sorted(known_signatures.items(),
+                                    key=lambda item: bytes(item[0]))),
+            header_bytes=known_header.to_bytes(),
+        )
+        new_side = Finalisation(
+            commitment=bytes(header.app_hash),
+            sign_bytes=header.sign_bytes(),
+            signatures=tuple(sorted(
+                ((public_key, signatures[public_key])
+                 for public_key in signers if public_key in signatures),
+                key=lambda item: bytes(item[0]))),
+            header_bytes=header.to_bytes(),
+        )
+        proof = build_proof(self.chain_id, header.height,
+                            bytes(header.validators_hash),
+                            known_side, new_side)
+        self.equivocation_proofs.append(proof)
+        return proof
+
+    def verify_accountability(self, proof: AccountabilityProof,
+                              scheme: SignatureScheme,
+                              ) -> tuple[PublicKey, ...]:
+        """Verify a Comet equivocation proof against a known validator
+        set and return the double-signers.
+
+        The protocol binding re-derives each side's sign-bytes and
+        commitment from the embedded header, so the proof cannot lie
+        about what was signed or at which height.
+        """
+        if proof.chain_id != self.chain_id:
+            raise AccountabilityError(
+                f"proof is for chain {proof.chain_id!r}, "
+                f"not {self.chain_id!r}")
+        valset = self._known_valsets.get(Hash(proof.valset_hash))
+        if valset is None:
+            raise AccountabilityError(
+                "proof references a validator set this client never saw")
+        for fin in (proof.first, proof.second):
+            side = CometHeader.read_from(Reader(fin.header_bytes))
+            if (side.chain_id != proof.chain_id
+                    or side.height != proof.height
+                    or bytes(side.validators_hash) != proof.valset_hash):
+                raise AccountabilityError(
+                    "embedded header does not match the proof's claims")
+            if fin.sign_bytes != side.sign_bytes():
+                raise AccountabilityError(
+                    "finalisation sign-bytes do not match the header")
+            if fin.commitment != bytes(side.app_hash):
+                raise AccountabilityError(
+                    "finalisation commitment is not the header's app hash")
+        quorum = (valset.total_power * 2) // 3 + 1
+        return verify_proof(
+            proof,
+            powers=valset.power_map(),
+            total_power=valset.total_power,
+            quorum_power=quorum,
+            batch_verify=scheme.verify_batch,
+        )
 
     def update(self, update: LightClientUpdate, scheme: SignatureScheme) -> None:
         """Full verification: check every commit signature directly.
@@ -317,4 +439,5 @@ class TendermintLightClient(LightClient):
                 for public_key, signature in members
                 if scheme.verify(public_key, sign_bytes, signature)
             }
-        self.apply_verified(update.header, signers, valset)
+        self.apply_verified(update.header, signers, valset,
+                            signatures=dict(members))

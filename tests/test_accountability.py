@@ -1,0 +1,576 @@
+"""Accountable safety (docs/ACCOUNTABILITY.md).
+
+Covers the :class:`AccountabilityProof` wire format and verifier, the
+deterministic slash-and-eject with its liveness floor, both light
+clients' conflict-to-proof paths (guest and Tendermint), and the full
+on-chain prosecution: forged quorum finalisation on gossip -> fisherman
+builds the proof -> ACCOUNTABILITY instruction slashes the intersection
+-> counterparty light client discounts the offenders.
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro import Deployment, DeploymentConfig
+from repro.accountability import (
+    AccountabilityProof,
+    Finalisation,
+    apply_accountability_slash,
+    build_proof,
+    verify_proof,
+)
+from repro.chaos import ChaosInjector, FaultPlan
+from repro.crypto.hashing import Hash
+from repro.crypto.simsig import SimSigScheme
+from repro.errors import (
+    AccountabilityError,
+    ClientError,
+    EquivocationError,
+    EvidenceError,
+)
+from repro.fisherman.evidence import FINALISATION_TOPIC, FinalisationClaim
+from repro.guest.block import GuestBlockHeader, sign_message
+from repro.guest.config import GuestConfig
+from repro.guest.epoch import Epoch
+from repro.guest.staking import StakingPool
+from repro.lightclient.guest_client import GuestClientUpdate, GuestLightClient
+from repro.lightclient.tendermint import (
+    CometHeader,
+    TendermintLightClient,
+    ValidatorSet,
+)
+from repro.validators.profiles import simple_profiles
+
+SCHEME = SimSigScheme()
+
+
+def keypair(index):
+    return SCHEME.keypair_from_seed(bytes([index + 1]) * 32)
+
+
+def make_epoch(count=5, stake=100, epoch_id=0):
+    """An epoch of ``count`` equal-stake validators with a >2/3 quorum."""
+    keypairs = [keypair(i) for i in range(count)]
+    total = stake * count
+    epoch = Epoch(
+        epoch_id=epoch_id,
+        validators={kp.public_key: stake for kp in keypairs},
+        quorum_stake=(total * 2) // 3 + 1,
+    )
+    return epoch, keypairs
+
+
+def finalisation(height, commitment, keypairs):
+    """A guest-style finalisation: everyone signs (height, commitment)."""
+    message = sign_message(height, commitment)
+    return Finalisation(
+        commitment=commitment,
+        sign_bytes=message,
+        signatures=tuple(sorted(
+            ((kp.public_key, kp.sign(message)) for kp in keypairs),
+            key=lambda item: bytes(item[0]))),
+    )
+
+
+def conflicting_proof(epoch, keypairs, height=7,
+                      first=b"\x01" * 32, second=b"\x02" * 32,
+                      first_signers=None, second_signers=None):
+    return build_proof(
+        "guest", height, bytes(epoch.canonical_hash()),
+        finalisation(height, first, first_signers or keypairs),
+        finalisation(height, second, second_signers or keypairs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+
+class TestProofFormat:
+    def test_round_trip(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(epoch, keypairs)
+        back = AccountabilityProof.from_bytes(proof.to_bytes())
+        assert back == proof
+        assert back.proof_id() == proof.proof_id()
+
+    def test_canonical_order_is_observation_independent(self):
+        epoch, keypairs = make_epoch()
+        a = finalisation(7, b"\x02" * 32, keypairs)
+        b = finalisation(7, b"\x01" * 32, keypairs)
+        forward = build_proof("guest", 7, bytes(epoch.canonical_hash()), a, b)
+        reverse = build_proof("guest", 7, bytes(epoch.canonical_hash()), b, a)
+        assert forward.to_bytes() == reverse.to_bytes()
+        assert forward.proof_id() == reverse.proof_id()
+        assert forward.first.commitment < forward.second.commitment
+
+    def test_build_rejects_shared_commitment(self):
+        epoch, keypairs = make_epoch()
+        side = finalisation(7, b"\x01" * 32, keypairs)
+        with pytest.raises(AccountabilityError, match="share a commitment"):
+            build_proof("guest", 7, bytes(epoch.canonical_hash()), side, side)
+
+    def test_offenders_are_the_sorted_intersection(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(
+            epoch, keypairs,
+            first_signers=keypairs[:4], second_signers=keypairs[1:])
+        expected = sorted(
+            (kp.public_key for kp in keypairs[1:4]), key=bytes)
+        assert list(proof.offenders()) == expected
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+
+
+class TestVerifyProof:
+    def verify(self, proof, epoch, **overrides):
+        kwargs = dict(
+            powers=epoch.validators,
+            total_power=epoch.total_stake,
+            quorum_power=epoch.quorum_stake,
+            batch_verify=SCHEME.verify_batch,
+        )
+        kwargs.update(overrides)
+        return verify_proof(proof, **kwargs)
+
+    def test_accepts_and_returns_double_signers(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(
+            epoch, keypairs,
+            first_signers=keypairs, second_signers=keypairs[:4])
+        offenders = self.verify(proof, epoch)
+        assert set(offenders) == {kp.public_key for kp in keypairs[:4]}
+
+    def test_rejects_non_canonical_order(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(epoch, keypairs)
+        swapped = replace(proof, first=proof.second, second=proof.first)
+        with pytest.raises(AccountabilityError, match="canonical order"):
+            self.verify(swapped, epoch)
+
+    def test_rejects_sub_quorum_side(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(
+            epoch, keypairs, second_signers=keypairs[:3])  # 300 < 334
+        with pytest.raises(AccountabilityError, match="quorum power"):
+            self.verify(proof, epoch)
+
+    def test_rejects_tampered_signature(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(epoch, keypairs)
+        good = proof.second.signatures
+        bad = ((good[0][0], good[1][1]),) + good[1:]  # key 0, key 1's sig
+        tampered = replace(proof, second=replace(proof.second,
+                                                 signatures=bad))
+        with pytest.raises(AccountabilityError, match="invalid signature"):
+            self.verify(tampered, epoch)
+
+    def test_rejects_thin_intersection(self):
+        # Disjoint halves of a 4-validator set, each passing an
+        # artificially low quorum: no attributable >1/3 overlap.
+        epoch, keypairs = make_epoch(count=4)
+        proof = conflicting_proof(
+            epoch, keypairs,
+            first_signers=keypairs[:2], second_signers=keypairs[2:])
+        with pytest.raises(AccountabilityError, match="one-third overlap"):
+            self.verify(proof, epoch, quorum_power=200)
+
+
+# ----------------------------------------------------------------------
+# Slash-and-eject
+# ----------------------------------------------------------------------
+
+
+class TestAccountabilitySlash:
+    def make_pool(self, stakes):
+        pool = StakingPool(GuestConfig(min_stake_lamports=1))
+        keys = []
+        for index, stake in enumerate(stakes):
+            key = keypair(index).public_key
+            pool.bond(key, stake)
+            keys.append(key)
+        return pool, keys
+
+    def test_slash_conserves_stake_and_ejects(self):
+        pool, keys = self.make_pool([100, 100, 100])
+        outcome = apply_accountability_slash(
+            pool, keys[:2], fraction=Fraction(1, 1), min_live=1)
+        assert outcome.conserves_stake()
+        assert outcome.total_slashed == 200
+        assert set(outcome.ejected) == set(keys[:2])
+        assert not outcome.spared
+        assert pool.eligible_count() == 1
+        assert pool.stake_of(keys[0]) == 0 and pool.stake_of(keys[1]) == 0
+        assert pool.stake_of(keys[2]) == 100
+
+    def test_partial_fraction_keeps_remainder_unbonding(self):
+        pool, keys = self.make_pool([100])
+        before = pool.locked_total()
+        outcome = apply_accountability_slash(
+            pool, keys, fraction=Fraction(1, 2), min_live=0)
+        assert outcome.conserves_stake()
+        assert outcome.total_slashed == 50
+        # Ejected: the surviving half sits in the unbonding queue, not
+        # the bond, so the offender can never re-enter selection.
+        assert pool.stake_of(keys[0]) == 0
+        assert pool.locked_total() == before - 50
+
+    def test_liveness_floor_spares_the_last_candidates(self):
+        pool, keys = self.make_pool([100, 100, 100])
+        outcome = apply_accountability_slash(
+            pool, keys, fraction=Fraction(1, 1), min_live=1)
+        assert outcome.conserves_stake()
+        assert len(outcome.ejected) == 2
+        assert len(outcome.spared) == 1
+        assert pool.eligible_count() == 1
+        spared = outcome.spared[0]
+        assert pool.stake_of(spared) == 100  # spared keeps its bond
+
+    def test_deterministic_regardless_of_input_order(self):
+        first_pool, keys = self.make_pool([100, 100, 100, 100])
+        second_pool, _ = self.make_pool([100, 100, 100, 100])
+        outcome_a = apply_accountability_slash(
+            first_pool, keys, fraction=Fraction(1, 1), min_live=2)
+        outcome_b = apply_accountability_slash(
+            second_pool, list(reversed(keys)),
+            fraction=Fraction(1, 1), min_live=2)
+        assert outcome_a == outcome_b
+
+    def test_slashing_a_stranger_is_a_noop(self):
+        pool, keys = self.make_pool([100])
+        stranger = keypair(9).public_key
+        outcome = apply_accountability_slash(
+            pool, [stranger], fraction=Fraction(1, 1), min_live=0)
+        assert outcome.conserves_stake()
+        assert outcome.total_slashed == 0
+        assert pool.locked_total() == 100
+
+
+# ----------------------------------------------------------------------
+# Guest light client
+# ----------------------------------------------------------------------
+
+
+def guest_header(height, epoch, state_root, **overrides):
+    fields = dict(
+        height=height, prev_hash=Hash.of(b"prev"), timestamp=float(height),
+        host_slot=height * 10, state_root=state_root,
+        epoch_id=epoch.epoch_id, epoch_hash=epoch.canonical_hash(),
+    )
+    fields.update(overrides)
+    return GuestBlockHeader(**fields)
+
+
+def guest_update(header, keypairs, new_epoch=None):
+    message = header.sign_message()
+    return GuestClientUpdate(
+        header=header,
+        signatures={kp.public_key: kp.sign(message) for kp in keypairs},
+        new_epoch=new_epoch,
+    )
+
+
+class TestGuestClientAccountability:
+    def test_conflict_builds_a_verifiable_proof(self):
+        epoch, keypairs = make_epoch()
+        client = GuestLightClient(SCHEME, epoch)
+        client.update(guest_update(
+            guest_header(1, epoch, Hash.of(b"state-a")), keypairs))
+
+        colluders = keypairs[:4]
+        conflicting = guest_update(
+            guest_header(1, epoch, Hash.of(b"state-b")), colluders)
+        with pytest.raises(EvidenceError, match="client frozen"):
+            client.update(conflicting)
+        assert client.frozen
+        assert len(client.equivocation_proofs) == 1
+
+        proof = client.equivocation_proofs[0]
+        # The proof convicts exactly the double-signing intersection,
+        # and a fresh client of the same guest can verify it.
+        watcher = GuestLightClient(SCHEME, epoch)
+        offenders = watcher.register_accountability(proof)
+        assert set(offenders) == {kp.public_key for kp in colluders}
+        assert watcher.proven_offenders == set(offenders)
+
+    def test_registration_rejects_unbound_sign_bytes(self):
+        epoch, keypairs = make_epoch()
+        proof = conflicting_proof(epoch, keypairs)
+        # Re-bind one side to a different height: the sign-bytes no
+        # longer commit to the height the proof claims.
+        lifted = replace(proof, height=proof.height + 1)
+        client = GuestLightClient(SCHEME, epoch)
+        with pytest.raises(AccountabilityError, match="bind the claimed height"):
+            client.register_accountability(lifted)
+
+    def test_registration_rejects_untrusted_epoch(self):
+        epoch, keypairs = make_epoch()
+        other, _ = make_epoch(count=3, epoch_id=9)
+        proof = conflicting_proof(epoch, keypairs)
+        client = GuestLightClient(SCHEME, other)
+        with pytest.raises(EvidenceError, match="never trusted"):
+            client.register_accountability(proof)
+
+    def test_proven_offenders_are_discounted_at_epoch_transition(self):
+        epoch, keypairs = make_epoch()  # 5 x 100
+        survivor = keypairs[4]
+        colluders = keypairs[:4]
+        proof = conflicting_proof(
+            epoch, keypairs,
+            first_signers=keypairs, second_signers=colluders)
+
+        next_epoch = Epoch(
+            epoch_id=1, validators={survivor.public_key: 100},
+            quorum_stake=67)
+        update = guest_update(
+            guest_header(2, next_epoch, Hash.of(b"state-c")),
+            [survivor], new_epoch=next_epoch)
+
+        # Without the proof: the survivor holds 100 of 500 trusted
+        # stake — not the >1/3 overlap — and the client wedges.
+        wedged = GuestLightClient(SCHEME, epoch)
+        with pytest.raises(ClientError, match="unindicted stake"):
+            wedged.update(update)
+
+        # With the slashed quorum registered, the overlap rule runs on
+        # unindicted stake only (100 of 100) and the client follows the
+        # replacement epoch.
+        client = GuestLightClient(SCHEME, epoch)
+        client.register_accountability(proof)
+        client.update(update)
+        assert client.epoch == next_epoch
+        assert client.latest_height() == 2
+
+
+# ----------------------------------------------------------------------
+# Tendermint light client
+# ----------------------------------------------------------------------
+
+
+class TestCometAccountability:
+    def make_valset(self, count=4, power=25):
+        keypairs = [keypair(10 + i) for i in range(count)]
+        valset = ValidatorSet(members=tuple(
+            (kp.public_key, power) for kp in keypairs))
+        return valset, keypairs
+
+    def comet_header(self, valset, height, app_hash):
+        return CometHeader(
+            chain_id="comet", height=height, time=float(height),
+            app_hash=app_hash, validators_hash=valset.canonical_hash(),
+            next_validators_hash=valset.canonical_hash(),
+        )
+
+    def adopt(self, client, valset, header, keypairs):
+        signatures = {kp.public_key: kp.sign(header.sign_bytes())
+                      for kp in keypairs}
+        client.apply_verified(header, set(signatures), valset,
+                              signatures=signatures)
+
+    def test_conflict_raises_equivocation_error_with_proof(self):
+        valset, keypairs = self.make_valset()
+        client = TendermintLightClient("comet", valset)
+        self.adopt(client, valset,
+                   self.comet_header(valset, 5, Hash.of(b"app-a")), keypairs)
+
+        conflicting = self.comet_header(valset, 5, Hash.of(b"app-b"))
+        with pytest.raises(EquivocationError) as excinfo:
+            self.adopt(client, valset, conflicting, keypairs)
+        assert client.frozen
+        proof = excinfo.value.proof
+        assert proof is not None
+        assert proof.height == 5
+        assert client.equivocation_proofs == [proof]
+
+        # A fresh client that knows the validator set convicts the
+        # intersection from the proof alone.
+        watcher = TendermintLightClient("comet", valset)
+        offenders = watcher.verify_accountability(proof, SCHEME)
+        assert set(offenders) == {kp.public_key for kp in keypairs}
+
+    def equivocation_proof(self):
+        valset, keypairs = self.make_valset()
+        client = TendermintLightClient("comet", valset)
+        self.adopt(client, valset,
+                   self.comet_header(valset, 5, Hash.of(b"app-a")), keypairs)
+        with pytest.raises(EquivocationError) as excinfo:
+            self.adopt(client, valset,
+                       self.comet_header(valset, 5, Hash.of(b"app-b")),
+                       keypairs)
+        return valset, excinfo.value.proof
+
+    def test_verification_rebinds_the_embedded_headers(self):
+        valset, proof = self.equivocation_proof()
+        watcher = TendermintLightClient("comet", valset)
+        # Claiming a different height than the embedded headers carry
+        # must fail: the binding is re-derived, not trusted.
+        lifted = replace(proof, height=proof.height + 1)
+        with pytest.raises(AccountabilityError, match="does not match the proof"):
+            watcher.verify_accountability(lifted, SCHEME)
+
+    def test_verification_rejects_unknown_validator_set(self):
+        _, proof = self.equivocation_proof()
+        other_valset, _ = self.make_valset(count=3)
+        stranger = TendermintLightClient("comet", other_valset)
+        with pytest.raises(AccountabilityError, match="never saw"):
+            stranger.verify_accountability(proof, SCHEME)
+
+
+# ----------------------------------------------------------------------
+# On-chain prosecution, end to end
+# ----------------------------------------------------------------------
+
+
+def make_dep(seed, validators=4):
+    return Deployment(DeploymentConfig(
+        seed=seed,
+        guest=GuestConfig(delta_seconds=90.0, min_stake_lamports=1),
+        profiles=simple_profiles(validators),
+        with_fisherman=True,
+        tracing=True,
+    ))
+
+
+def forged_claim(dep, salt=b"fork-a"):
+    """A colluding-quorum finalisation conflicting with the real chain:
+    the latest finalised block's header with a rewritten state root,
+    signed by the minimal quorum of its real signers."""
+    contract = dep.contract
+    block = None
+    for height in range(contract.head.height, -1, -1):
+        candidate = contract.block_at(height)
+        if candidate.finalised:
+            block = candidate
+            break
+    assert block is not None, "no finalised block to fork"
+    epoch = contract.epochs[block.header.epoch_id]
+    keypairs = {node.keypair.public_key: node.keypair
+                for node in dep.validators}
+    ranked = sorted(
+        (pk for pk in block.signers if pk in keypairs),
+        key=lambda pk: (-epoch.stake(pk), bytes(pk)))
+    colluders, power = [], 0
+    for public_key in ranked:
+        colluders.append(public_key)
+        power += epoch.stake(public_key)
+        if power >= epoch.quorum_stake:
+            break
+    assert power >= epoch.quorum_stake, "real signers below quorum"
+    forged = replace(block.header, state_root=Hash.of(salt))
+    message = forged.sign_message()
+    claim = FinalisationClaim(
+        header=forged,
+        signatures=tuple(sorted(
+            ((pk, keypairs[pk].sign(message)) for pk in colluders),
+            key=lambda item: bytes(item[0]))),
+    )
+    return claim, colluders
+
+
+class TestOnChainProsecution:
+    def test_forged_finalisation_is_slashed_on_chain(self):
+        dep = make_dep(911)
+        dep.establish_link()
+        dep.run_for(30.0)
+        claim, colluders = forged_claim(dep)
+        locked_before = dep.contract.staking.locked_total()
+        burned_before = dep.contract.burned_total
+
+        dep.gossip.publish(FINALISATION_TOPIC, claim)
+        dep.run_for(600.0)
+
+        records = dep.contract.accountability_slashes
+        assert len(records) == 1
+        record = records[0]
+        assert record["height"] == claim.header.height
+        # The convicted intersection is attributable: > 1/3 of the
+        # epoch's voting power (here, a full quorum).
+        assert record["offender_stake"] * 3 > record["total_stake"]
+        assert sorted(record["offenders"]) == sorted(
+            pk.short() for pk in colluders)
+
+        # Stake conservation on chain: the pool shrank by exactly the
+        # slashed amount, which split into burn + prosecutor reward.
+        assert dep.contract.staking.locked_total() == (
+            locked_before - record["slashed"])
+        assert record["burned"] + record["reward"] == record["slashed"]
+        assert dep.contract.burned_total == burned_before + record["burned"]
+
+        spared = set(record["spared"])
+        for public_key in colluders:
+            assert (dep.contract.staking.stake_of(public_key) == 0
+                    or public_key.short() in spared)
+
+        # The fisherman prosecuted once and notified the counterparty
+        # client, which now discounts the offenders.
+        assert [r.accepted for r in dep.fisherman.accountability_reports] == [True]
+        assert {pk.short() for pk in dep.guest_client.proven_offenders} == set(
+            record["offenders"])
+
+    def test_duplicate_proof_is_rejected_on_chain(self):
+        dep = make_dep(912)
+        dep.establish_link()
+        dep.run_for(30.0)
+        claim, _ = forged_claim(dep)
+        proof = dep.fisherman._build_finalisation_proof(claim)
+        assert proof is not None
+
+        results = []
+        dep.relayer_api.submit_accountability_proof(
+            proof, on_done=results.append)
+        dep.run_for(120.0)
+        assert [r.success for r in results] == [True]
+
+        dep.relayer_api.submit_accountability_proof(
+            proof, on_done=results.append)
+        dep.run_for(120.0)
+        assert [r.success for r in results] == [True, False]
+        assert "already prosecuted" in results[1].error
+
+    def test_prosecution_survives_a_host_blackout(self):
+        dep = make_dep(913)
+        dep.establish_link()
+        dep.run_for(30.0)
+        plan = FaultPlan().add("host_blackout", at=0.0, duration=60.0)
+        ChaosInjector(dep, plan).arm()
+        claim, _ = forged_claim(dep)
+
+        dep.gossip.publish(FINALISATION_TOPIC, claim)
+        dep.run_for(900.0)
+
+        assert any(r.accepted for r in dep.fisherman.accountability_reports)
+        assert len(dep.contract.accountability_slashes) == 1
+        counters = dep.trace_report().counters
+        # The proof only landed because the RetryPolicy kept the
+        # prosecution alive across the blackout.
+        assert counters.get("fisherman.retries", 0) >= 1
+
+    def test_injected_quorum_equivocation_is_attributed(self):
+        dep = make_dep(914)
+        dep.establish_link()
+        plan = FaultPlan().add("validator_quorum_equivocate", at=5.0,
+                               duration=10.0, magnitude=3)
+        injector = ChaosInjector(dep, plan).arm()
+        dep.run_for(900.0)
+
+        records = dep.contract.accountability_slashes
+        assert records
+        assert all(rec["offender_stake"] * 3 > rec["total_stake"]
+                   for rec in records)
+        counters = dep.trace_report().counters
+        assert counters.get("chaos.quorum_equivocations.published") == 3
+        assert counters.get("fisherman.equivocations.detected", 0) >= 1
+        assert counters.get("guest.accountability.slashes", 0) >= 1
+
+        spared = {short for rec in records for short in rec["spared"]}
+        offenders = injector._quorum_offenders[0]
+        assert offenders, "the fault seeded no colluding quorum"
+        for public_key in offenders:
+            assert (dep.contract.staking.stake_of(public_key) == 0
+                    or public_key.short() in spared)

@@ -1,0 +1,160 @@
+"""Property suite for accountability slashing (docs/ACCOUNTABILITY.md).
+
+200 seeded random interleavings of bonds, unbonding requests and
+accountability slashes against the staking pool, checking on every step
+
+* stake conservation: the pool's locked total plus everything ever
+  slashed equals everything ever bonded (a lamport-exact ledger),
+* the liveness floor: a slash never drops the eligible-candidate count
+  below ``min_live`` when it started at or above it, and
+* determinism: replaying the same interleaving — with each slash's
+  offender list shuffled — lands on the identical outcome sequence and
+  pool fingerprint.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.accountability import apply_accountability_slash
+from repro.crypto.simsig import SimSigScheme
+from repro.guest.config import GuestConfig
+from repro.guest.staking import StakingPool
+
+SCHEME = SimSigScheme()
+SEEDS = range(200)
+FRACTIONS = (Fraction(1, 1), Fraction(1, 2), Fraction(1, 3), Fraction(2, 3))
+
+_KEY_CACHE = {}
+
+
+def validator_key(index):
+    if index not in _KEY_CACHE:
+        seed = b"prop" + index.to_bytes(4, "big") + bytes(24)
+        _KEY_CACHE[index] = SCHEME.keypair_from_seed(seed).public_key
+    return _KEY_CACHE[index]
+
+
+def build_script(seed):
+    """One deterministic interleaving: (setup, steps)."""
+    rng = random.Random(seed)
+    count = rng.randint(3, 8)
+    setup = {
+        "min_live": rng.randint(0, 2),
+        "stakes": [rng.randint(1, 1_000) * 1_000 for _ in range(count)],
+    }
+    steps = []
+    for _ in range(rng.randint(1, 6)):
+        kind = rng.choice(("slash", "slash", "bond", "unbond"))
+        if kind == "slash":
+            offenders = rng.sample(range(count), rng.randint(1, count))
+            steps.append(("slash", tuple(offenders), rng.choice(FRACTIONS)))
+        elif kind == "bond":
+            steps.append(("bond", rng.randrange(count),
+                          rng.randint(1, 500) * 1_000))
+        else:
+            steps.append(("unbond", rng.randrange(count)))
+    return setup, steps
+
+
+def pool_fingerprint(pool, count):
+    return tuple(
+        (pool.stake_of(validator_key(index)),
+         pool.withdrawable(validator_key(index), float("inf")))
+        for index in range(count)
+    )
+
+
+def run_script(setup, steps, shuffle_seed=None):
+    """Execute one interleaving; returns (outcomes, final fingerprint)
+    while asserting conservation and the liveness floor throughout."""
+    config = GuestConfig(min_stake_lamports=1)
+    pool = StakingPool(config)
+    count = len(setup["stakes"])
+    min_live = setup["min_live"]
+    bonded_total = 0
+    for index, stake in enumerate(setup["stakes"]):
+        pool.bond(validator_key(index), stake)
+        bonded_total += stake
+    shuffler = random.Random(shuffle_seed) if shuffle_seed is not None else None
+
+    outcomes = []
+    now = 0.0
+    for step in steps:
+        now += 10.0
+        if step[0] == "bond":
+            _, index, amount = step
+            key = validator_key(index)
+            # Ejected offenders stay out: re-bonding them would dodge
+            # the ejection, so the interleaving skips them.
+            if pool.stake_of(key) > 0:
+                pool.bond(key, amount)
+                bonded_total += amount
+        elif step[0] == "unbond":
+            _, index = step
+            key = validator_key(index)
+            stake = pool.stake_of(key)
+            if stake > 1:
+                pool.request_unbond(key, stake // 2, now)
+        else:
+            _, offender_indices, fraction = step
+            offenders = [validator_key(index) for index in offender_indices]
+            if shuffler is not None:
+                shuffler.shuffle(offenders)
+            eligible_before = pool.eligible_count()
+            outcome = apply_accountability_slash(
+                pool, offenders, fraction=fraction, min_live=min_live)
+            outcomes.append(outcome)
+
+            assert outcome.conserves_stake(), (
+                f"slash lost lamports: {outcome}")
+            floor = min(min_live, eligible_before)
+            assert pool.eligible_count() >= floor, (
+                f"slash broke the liveness floor {min_live}: "
+                f"{eligible_before} -> {pool.eligible_count()}")
+            for offender in outcome.ejected:
+                assert pool.stake_of(offender) == 0
+            for offender in outcome.spared:
+                assert pool.is_eligible(offender)
+
+        # The lamport ledger balances after *every* step: nothing the
+        # pool ever held is unaccounted for.
+        assert pool.locked_total() + pool.slashed_total == bonded_total
+
+    return outcomes, pool_fingerprint(pool, count)
+
+
+def test_slashing_properties_across_interleavings():
+    exercised = 0
+    for seed in SEEDS:
+        setup, steps = build_script(seed)
+        outcomes, fingerprint = run_script(setup, steps)
+        exercised += len(outcomes)
+        # Replay with shuffled offender order: byte-identical outcomes.
+        replay_outcomes, replay_fingerprint = run_script(
+            setup, steps, shuffle_seed=seed + 1)
+        assert replay_outcomes == outcomes, f"seed {seed} not deterministic"
+        assert replay_fingerprint == fingerprint, f"seed {seed} diverged"
+    # The generator must actually exercise the slashing path at scale.
+    assert exercised >= 200
+
+
+def test_total_wipeout_respects_floor_and_ledger():
+    """Every validator implicated at full fraction, repeatedly."""
+    for min_live in (0, 1, 2):
+        config = GuestConfig(min_stake_lamports=1)
+        pool = StakingPool(config)
+        keys = [validator_key(index) for index in range(4)]
+        for key in keys:
+            pool.bond(key, 1_000)
+        first = apply_accountability_slash(
+            pool, keys, fraction=Fraction(1, 1), min_live=min_live)
+        assert first.conserves_stake()
+        assert pool.eligible_count() == min_live
+        assert len(first.spared) == min_live
+        # A second identical prosecution finds nothing left to take
+        # from the ejected and still refuses to eject the spared.
+        second = apply_accountability_slash(
+            pool, keys, fraction=Fraction(1, 1), min_live=min_live)
+        assert second.conserves_stake()
+        assert pool.eligible_count() == min_live
+        assert pool.locked_total() + pool.slashed_total == 4_000

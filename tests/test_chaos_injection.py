@@ -114,7 +114,7 @@ class TestFaultPlan:
         assert back.to_json() == text  # stable (sorted keys)
 
     def test_every_kind_has_a_shape(self):
-        assert len(FAULT_KINDS) == 13
+        assert len(FAULT_KINDS) == 14
         for kind, shape in FAULT_KINDS.items():
             assert len(shape) == 4, kind
 

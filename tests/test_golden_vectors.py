@@ -9,6 +9,7 @@ changed the protocol — bump it consciously, never casually.
 
 import hashlib
 
+from repro.accountability import AccountabilityProof, Finalisation, build_proof
 from repro.crypto.hashing import Hash, hash_concat, merkle_root
 from repro.crypto.simsig import SimSigScheme
 from repro.guest.block import GuestBlockHeader, sign_message
@@ -150,3 +151,60 @@ class TestGuestVectors:
         assert message[:10] == b"guest-sign"
         assert message[10:18] == (9).to_bytes(8, "big")
         assert message[18:] == fingerprint
+
+
+class TestAccountabilityVectors:
+    """The AccountabilityProof encoding (docs/ACCOUNTABILITY.md).
+
+    Proofs are submitted on chain and relayed to counterparty light
+    clients, so both the wire bytes and the dedup ``proof_id`` are
+    protocol surface: a fisherman and a contract that disagree on either
+    can no longer prosecute the same equivocation exactly once.
+    """
+
+    def proof(self):
+        scheme = SimSigScheme()
+        keypairs = [
+            scheme.keypair_from_seed(bytes([9]) + i.to_bytes(4, "big") + bytes(27))
+            for i in range(3)
+        ]
+        epoch = Epoch(
+            epoch_id=2,
+            validators={kp.public_key: 100 * (i + 1)
+                        for i, kp in enumerate(keypairs)},
+            quorum_stake=401,
+        )
+
+        def side(commitment):
+            message = sign_message(9, commitment)
+            return Finalisation(
+                commitment=commitment,
+                sign_bytes=message,
+                signatures=tuple(sorted(
+                    ((kp.public_key, kp.sign(message)) for kp in keypairs),
+                    key=lambda item: bytes(item[0]))),
+            )
+
+        # Built from the lexicographically *larger* commitment first:
+        # canonicalisation must reorder, or the id splits in two.
+        return build_proof("guest", 9, bytes(epoch.canonical_hash()),
+                           side(b"\x02" * 32), side(b"\x01" * 32))
+
+    def test_wire_bytes(self):
+        wire = self.proof().to_bytes()
+        assert len(wire) == 788
+        assert hashlib.sha256(wire).hexdigest() == (
+            "e6d4f7135d672cb9c0dc06de5e1e39142f29c2b7570a092e84aa4bc42837952b"
+        )
+
+    def test_round_trip_is_exact(self):
+        proof = self.proof()
+        assert AccountabilityProof.from_bytes(proof.to_bytes()) == proof
+
+    def test_proof_id(self):
+        proof = self.proof()
+        assert proof.proof_id().hex() == (
+            "47978fd47a61c97fac9993de0eab51c488936bf2958035cd8af360cbd72b6a26"
+        )
+        # Canonical side order: smaller commitment first.
+        assert proof.first.commitment == b"\x01" * 32
